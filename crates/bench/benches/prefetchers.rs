@@ -1,0 +1,55 @@
+//! Event-handling throughput of each prefetcher: demand hooks plus
+//! queue pumping, against a scripted context (no timing model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcfb_prefetch::context::MockContext;
+use dcfb_prefetch::{
+    Confluence, DiscontinuityPrefetcher, InstrPrefetcher, NextLine, RecentInstrs, Sn4l,
+    Sn4lDisBtb,
+};
+
+/// A synthetic demand-block pattern: mostly sequential runs with a
+/// discontinuity every eight blocks.
+fn block_at(i: u64) -> u64 {
+    let run = i / 8;
+    let off = i % 8;
+    run * 131 + off
+}
+
+fn drive(c: &mut Criterion, name: &str, mut make: impl FnMut() -> Box<dyn InstrPrefetcher>) {
+    let mut g = c.benchmark_group("prefetcher_events");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function(name, |b| {
+        let mut pf = make();
+        let mut ctx = MockContext::default();
+        let recent = RecentInstrs::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let block = block_at(i);
+            let hit = i % 3 != 0;
+            pf.on_demand(&mut ctx, black_box(block), hit, false, &recent);
+            pf.tick(&mut ctx);
+            if ctx.issued.len() > 1024 {
+                ctx.issued.clear();
+                ctx.lookups.clear();
+                ctx.resident.clear();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    drive(c, "nl", || Box::new(NextLine::new(1)));
+    drive(c, "n4l", || Box::new(NextLine::new(4)));
+    drive(c, "sn4l", || Box::new(Sn4l::paper_sized()));
+    drive(c, "sn4l_dis_btb", || Box::new(Sn4lDisBtb::paper_sized()));
+    drive(c, "discontinuity", || {
+        Box::new(DiscontinuityPrefetcher::paper_baseline())
+    });
+    drive(c, "confluence", || Box::new(Confluence::paper_sized()));
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end simulator throughput: simulated instructions per second
+//! for the main frontend configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{ProgramImage, Walker, WorkloadParams};
+use std::sync::Arc;
+
+const INSTRS: u64 = 100_000;
+
+fn image() -> Arc<ProgramImage> {
+    let params = WorkloadParams {
+        name: "simbench".to_owned(),
+        functions: 600,
+        root_functions: 16,
+        ..WorkloadParams::default()
+    };
+    Arc::new(ProgramImage::build(&params, 7, IsaMode::Fixed4))
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let image = image();
+    let mut g = c.benchmark_group("simulated_instructions");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRS));
+    for method in ["Baseline", "N4L", "SN4L+Dis+BTB", "Shotgun", "Confluence"] {
+        g.bench_function(method, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SimConfig::for_method(method).expect("method");
+                    cfg.warmup_instrs = 0;
+                    cfg.measure_instrs = INSTRS;
+                    (
+                        Simulator::new(cfg, Arc::clone(&image)),
+                        Walker::new(Arc::clone(&image), 3),
+                    )
+                },
+                |(mut sim, mut walker)| black_box(sim.run(&mut walker)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks for the paper's metadata structures: the hardware
+//! argument is that SeqTable/DisTable/RLU are trivially cheap
+//! direct-mapped lookups (Table II's "search complexity" row); these
+//! benches quantify the software model's cost per operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcfb_frontend::{BranchClass, Btb, BtbConfig, BtbEntry};
+use dcfb_prefetch::{BtbPrefetchBuffer, DisTable, Rlu, SeqTable, TagPolicy};
+
+fn bench_seqtable(c: &mut Criterion) {
+    let mut table = SeqTable::paper_sized();
+    for b in 0..4096u64 {
+        if b % 3 == 0 {
+            table.reset(b);
+        }
+    }
+    let mut i = 0u64;
+    c.bench_function("seqtable_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(table.is_useful(black_box(i)))
+        })
+    });
+    c.bench_function("seqtable_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            if i & 1 == 0 {
+                table.set(i);
+            } else {
+                table.reset(i);
+            }
+        })
+    });
+}
+
+fn bench_distable(c: &mut Criterion) {
+    let mut table = DisTable::new(4096, TagPolicy::Partial(4), 4);
+    for b in 0..2048u64 {
+        table.record(b * 3, (b % 16) as u8);
+    }
+    let mut i = 0u64;
+    c.bench_function("distable_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(table.lookup(black_box(i)))
+        })
+    });
+}
+
+fn bench_rlu(c: &mut Criterion) {
+    let mut rlu = Rlu::new(8);
+    let mut i = 0u64;
+    c.bench_function("rlu_check_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            // Mix of repeats (i % 4) and fresh blocks.
+            black_box(rlu.check_insert(black_box(i % 12)))
+        })
+    });
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let mut btb = Btb::new(BtbConfig::baseline_2k());
+    for k in 0..2048u64 {
+        btb.insert(BtbEntry {
+            pc: 0x40_0000 + k * 12,
+            target: 0x80_0000 + k * 4,
+            class: BranchClass::Conditional,
+        });
+    }
+    let mut i = 0u64;
+    c.bench_function("btb_lookup_2k", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(12);
+            black_box(btb.lookup(black_box(0x40_0000 + (i % (2048 * 12)))))
+        })
+    });
+}
+
+fn bench_btb_buffer(c: &mut Criterion) {
+    let mut buf = BtbPrefetchBuffer::paper_sized();
+    let entries: Vec<BtbEntry> = (0..4)
+        .map(|k| BtbEntry {
+            pc: 100 * 64 + k * 8,
+            target: 0x1000 + k,
+            class: BranchClass::Conditional,
+        })
+        .collect();
+    let mut i = 0u64;
+    c.bench_function("btb_prefetch_buffer_fill_take", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let block = 100 + (i % 64);
+            let mut e = entries.clone();
+            for x in &mut e {
+                x.pc = block * 64 + (x.pc % 64);
+            }
+            buf.fill(block, e);
+            black_box(buf.take_for(block * 64))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_seqtable,
+    bench_distable,
+    bench_rlu,
+    bench_btb,
+    bench_btb_buffer
+);
+criterion_main!(benches);

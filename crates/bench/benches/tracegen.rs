@@ -1,0 +1,62 @@
+//! Throughput of the workload substrate: image construction and trace
+//! synthesis (the simulator's input side).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dcfb_trace::{InstrStream, IsaMode};
+use dcfb_workloads::{ProgramImage, Walker, WorkloadParams};
+use std::sync::Arc;
+
+fn params(functions: usize) -> WorkloadParams {
+    WorkloadParams {
+        name: format!("bench-{functions}"),
+        functions,
+        root_functions: 16.min(functions),
+        ..WorkloadParams::default()
+    }
+}
+
+fn bench_image_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image_build");
+    g.sample_size(10);
+    for functions in [200usize, 800] {
+        g.bench_function(format!("{functions}_functions"), |b| {
+            let p = params(functions);
+            b.iter(|| black_box(ProgramImage::build(&p, 7, IsaMode::Fixed4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let image = Arc::new(ProgramImage::build(&params(400), 7, IsaMode::Fixed4));
+    let mut g = c.benchmark_group("trace_generation");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k_instrs", |b| {
+        b.iter_batched(
+            || Walker::new(Arc::clone(&image), 9),
+            |mut w| {
+                for _ in 0..100_000 {
+                    black_box(w.next_instr());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_predecode(c: &mut Criterion) {
+    let image = Arc::new(ProgramImage::build(&params(400), 7, IsaMode::Fixed4));
+    let mut pre = dcfb_frontend::Predecoder::new(IsaMode::Fixed4);
+    let first = dcfb_trace::block_of(image.functions()[1].entry);
+    let mut i = 0u64;
+    c.bench_function("predecode_block", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(pre.decode(&*image, first + (i % 512), None))
+        })
+    });
+}
+
+criterion_group!(benches, bench_image_build, bench_trace_generation, bench_predecode);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation study for the proactive SN4L+Dis engine's design choices
+//! (the parameters §V-B fixes empirically):
+//!
+//! * chain-termination depth — "four is a reasonable threshold",
+//! * SN1L vs. SN4L past discontinuities — "we use SN1L ... the
+//!   timeliness is obtained at the cost of lower prefetch accuracy",
+//! * RLU capacity — "an RLU of eight entries performs well" (Fig. 14).
+//!
+//! Scale knobs: DCFB_WARMUP, DCFB_MEASURE, DCFB_WORKLOADS.
+
+use dcfb_bench::runs::{baseline, run, scaled, workloads};
+use dcfb_bench::Table;
+use dcfb_prefetch::Sn4lDisConfig;
+use dcfb_sim::{PrefetcherKind, SimConfig};
+
+fn sweep(label: &str, t: &mut Table, make: impl Fn() -> Sn4lDisConfig) {
+    let mut cfg = scaled(SimConfig::default());
+    cfg.prefetcher = PrefetcherKind::Sn4lDis(make());
+    let mut speedup = Vec::new();
+    let mut bw = 0.0;
+    let mut covered = 0.0;
+    let mut total = 0.0;
+    let mut lookups = 0.0;
+    let mut n = 0.0;
+    for w in workloads() {
+        let base = baseline(&w);
+        let rep = run(&w, cfg.clone());
+        speedup.push(rep.speedup_over(&base));
+        bw += rep.bandwidth_over(&base);
+        lookups += rep.lookups_over(&base);
+        covered += rep.cmal_covered;
+        total += rep.cmal_total;
+        n += 1.0;
+    }
+    t.row(vec![
+        label.to_owned(),
+        Table::x(dcfb_sim::geomean(speedup)),
+        Table::pct(if total > 0.0 { covered / total } else { 0.0 }),
+        Table::x(bw / n),
+        Table::x(lookups / n),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation",
+        "Proactive-engine design choices (SN4L+Dis+BTB variants)",
+        &[
+            "Variant",
+            "Speedup (geomean)",
+            "CMAL",
+            "Ext. bandwidth (avg)",
+            "Cache lookups (avg)",
+        ],
+    );
+
+    // Depth sweep.
+    for depth in [0u8, 2, 4, 8] {
+        sweep(&format!("chain depth {depth}"), &mut t, || Sn4lDisConfig {
+            max_depth: depth,
+            ..Sn4lDisConfig::default()
+        });
+    }
+    // Deep sequential degree.
+    for degree in [1u64, 2, 4] {
+        let name = if degree == 1 { "SN1L past discontinuities (paper)" } else { "" };
+        let label = if name.is_empty() {
+            format!("SN{degree}L past discontinuities")
+        } else {
+            name.to_owned()
+        };
+        sweep(&label, &mut t, || Sn4lDisConfig {
+            deep_seq_degree: degree,
+            ..Sn4lDisConfig::default()
+        });
+    }
+    // RLU capacity.
+    for rlu in [1usize, 4, 8, 32] {
+        sweep(&format!("RLU {rlu} entries"), &mut t, || Sn4lDisConfig {
+            rlu_entries: rlu,
+            ..Sn4lDisConfig::default()
+        });
+    }
+    t.note("Paper choices: depth 4, SN1L past discontinuities, 8-entry RLU.");
+    println!("{t}");
+}

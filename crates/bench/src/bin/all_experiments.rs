@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper and prints an
+//! EXPERIMENTS.md-ready markdown document to stdout.
+//!
+//! Scale knobs: DCFB_WARMUP, DCFB_MEASURE, DCFB_WORKLOADS.
+
+use std::time::Instant;
+
+fn main() {
+    println!("# Regenerated experiments — Divide and Conquer Frontend Bottleneck\n");
+    println!(
+        "Scale: warmup {} / measure {} instructions per run, {} workloads.\n",
+        dcfb_bench::warmup_instrs(),
+        dcfb_bench::measure_instrs(),
+        dcfb_bench::workloads().len()
+    );
+    for (id, gen) in dcfb_bench::figures::all() {
+        let t0 = Instant::now();
+        let table = gen();
+        eprintln!("[{id}] regenerated in {:.1}s", t0.elapsed().as_secs_f32());
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06_pattern_pred result. See dcfb-bench's crate docs
+//! for the DCFB_WARMUP / DCFB_MEASURE / DCFB_WORKLOADS scale knobs.
+
+fn main() {
+    println!("{}", dcfb_bench::figures::fig06_pattern_pred());
+}

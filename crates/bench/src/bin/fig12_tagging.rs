@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12_tagging result. See dcfb-bench's crate docs
+//! for the DCFB_WARMUP / DCFB_MEASURE / DCFB_WORKLOADS scale knobs.
+
+fn main() {
+    println!("{}", dcfb_bench::figures::fig12_tagging());
+}

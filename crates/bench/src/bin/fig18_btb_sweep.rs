@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig18_btb_sweep result. See dcfb-bench's crate docs
+//! for the DCFB_WARMUP / DCFB_MEASURE / DCFB_WORKLOADS scale knobs.
+
+fn main() {
+    println!("{}", dcfb_bench::figures::fig18_btb_sweep());
+}

@@ -1,0 +1,20 @@
+//! # dcfb-bench
+//!
+//! The experiment harness: one generator per table and figure of the
+//! paper, shared by the `fig*`/`tab*` binaries and by
+//! `all_experiments`, which regenerates everything and emits
+//! `EXPERIMENTS.md`-ready markdown.
+//!
+//! Run scale is controlled by environment variables so CI can be quick
+//! and a full reproduction can be thorough:
+//!
+//! * `DCFB_WARMUP` — warmup instructions per run (default 1,000,000),
+//! * `DCFB_MEASURE` — measured instructions per run (default 2,000,000),
+//! * `DCFB_WORKLOADS` — restrict to the first N workloads (default all 7).
+
+pub mod figures;
+pub mod runs;
+pub mod table;
+
+pub use runs::{measure_instrs, warmup_instrs, workloads};
+pub use table::Table;

@@ -1,0 +1,135 @@
+//! Shared run helpers: scaled configurations, image caching, and
+//! baseline caching, so regenerating all experiments stays fast.
+
+use dcfb_sim::{SimConfig, SimReport, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{all_workloads, ProgramImage, Walker, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The trace seed used by every experiment (determinism).
+pub const TRACE_SEED: u64 = 0xD0_5EED;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Warmup instructions per run (`DCFB_WARMUP`, default 1 M).
+pub fn warmup_instrs() -> u64 {
+    env_u64("DCFB_WARMUP", 1_000_000)
+}
+
+/// Measured instructions per run (`DCFB_MEASURE`, default 2 M).
+pub fn measure_instrs() -> u64 {
+    env_u64("DCFB_MEASURE", 2_000_000)
+}
+
+/// The workload list, optionally truncated by `DCFB_WORKLOADS`.
+pub fn workloads() -> Vec<Workload> {
+    let all = all_workloads();
+    let n = env_u64("DCFB_WORKLOADS", all.len() as u64) as usize;
+    all.into_iter().take(n.max(1)).collect()
+}
+
+/// Applies the experiment scale to a configuration.
+pub fn scaled(mut cfg: SimConfig) -> SimConfig {
+    cfg.warmup_instrs = warmup_instrs();
+    cfg.measure_instrs = measure_instrs();
+    cfg
+}
+
+/// A scaled configuration for a named method.
+///
+/// # Panics
+///
+/// Panics on an unknown method name.
+pub fn method_config(name: &str) -> SimConfig {
+    scaled(SimConfig::for_method(name).unwrap_or_else(|| panic!("unknown method {name}")))
+}
+
+type ImageKey = (String, IsaMode);
+
+fn image_cache() -> &'static Mutex<HashMap<ImageKey, Arc<ProgramImage>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ImageKey, Arc<ProgramImage>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Builds (or fetches a cached) program image for `workload`.
+pub fn image_for(workload: &Workload, isa: IsaMode) -> Arc<ProgramImage> {
+    let key = (workload.name.to_owned(), isa);
+    if let Some(img) = image_cache().lock().unwrap().get(&key) {
+        return Arc::clone(img);
+    }
+    let img = workload.image(isa);
+    image_cache()
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&img));
+    img
+}
+
+/// Runs `cfg` on `workload` (cached image, fixed trace seed).
+pub fn run(workload: &Workload, cfg: SimConfig) -> SimReport {
+    let image = image_for(workload, cfg.isa);
+    let mut sim = Simulator::new(cfg, Arc::clone(&image));
+    let mut walker = Walker::new(image, TRACE_SEED);
+    sim.run(&mut walker)
+}
+
+fn baseline_cache() -> &'static Mutex<HashMap<String, SimReport>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, SimReport>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The no-prefetcher baseline for `workload` at the current scale
+/// (cached per process).
+pub fn baseline(workload: &Workload) -> SimReport {
+    let key = format!(
+        "{}:{}:{}",
+        workload.name,
+        warmup_instrs(),
+        measure_instrs()
+    );
+    if let Some(r) = baseline_cache().lock().unwrap().get(&key) {
+        return r.clone();
+    }
+    let r = run(workload, method_config("Baseline"));
+    baseline_cache().lock().unwrap().insert(key, r.clone());
+    r
+}
+
+/// Runs a named method on every workload, yielding
+/// `(workload, report, baseline)` triples.
+pub fn run_method_all(method: &str) -> Vec<(Workload, SimReport, SimReport)> {
+    workloads()
+        .into_iter()
+        .map(|w| {
+            let base = baseline(&w);
+            let rep = run(&w, method_config(method));
+            (w, rep, base)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults() {
+        assert!(warmup_instrs() >= 1);
+        assert!(measure_instrs() >= 1);
+        assert!(!workloads().is_empty());
+    }
+
+    #[test]
+    fn image_cache_returns_same_arc() {
+        let w = &workloads()[0];
+        let a = image_for(w, IsaMode::Fixed4);
+        let b = image_for(w, IsaMode::Fixed4);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

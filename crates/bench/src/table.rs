@@ -1,0 +1,109 @@
+//! A tiny result-table type rendered as markdown.
+
+use std::fmt;
+
+/// One regenerated table or figure, as rows of strings.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id ("Fig. 16", "Table I", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Paper-vs-measured commentary appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Formats a ratio as a percentage with one decimal.
+    pub fn pct(x: f64) -> String {
+        format!("{:.1}%", x * 100.0)
+    }
+
+    /// Formats a multiplier with two decimals.
+    pub fn x(v: f64) -> String {
+        format!("{v:.2}x")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}\n", self.id, self.title)?;
+        writeln!(f, "| {} |", self.headers.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Fig. X", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("shape holds");
+        let s = t.to_string();
+        assert!(s.contains("### Fig. X — demo"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("> shape holds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("f", "t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(Table::pct(0.613), "61.3%");
+        assert_eq!(Table::x(7.2), "7.20x");
+    }
+}

@@ -1,0 +1,249 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Tracks outstanding block fetches between a cache and the lower
+//! hierarchy. Secondary misses merge into the existing entry; a demand
+//! merging into a prefetch-initiated entry *promotes* it (the paper's
+//! CMAL metric measures exactly these partially-covered misses).
+
+use dcfb_trace::Block;
+
+/// Result of [`MshrFile::allocate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the request must be sent below.
+    Allocated,
+    /// The block was already outstanding; this request merged.
+    Merged {
+        /// Cycle at which the outstanding fetch completes.
+        ready_at: u64,
+        /// Whether the original requester was a prefetch.
+        was_prefetch: bool,
+    },
+    /// No free entry; the requester must stall/retry.
+    Full,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    block: Block,
+    issued_at: u64,
+    ready_at: u64,
+    is_prefetch: bool,
+    demand_waiting: bool,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    peak: usize,
+}
+
+/// A completed fetch popped from the MSHR file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The block whose fetch completed.
+    pub block: Block,
+    /// Cycle the request was issued.
+    pub issued_at: u64,
+    /// Cycle it completed.
+    pub ready_at: u64,
+    /// Whether the *originating* request was a prefetch.
+    pub is_prefetch: bool,
+    /// Whether a demand access is waiting on this block.
+    pub demand_waiting: bool,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Attempts to allocate (or merge into) an entry for `block`
+    /// completing at `ready_at`.
+    pub fn allocate(
+        &mut self,
+        block: Block,
+        now: u64,
+        ready_at: u64,
+        is_prefetch: bool,
+    ) -> MshrOutcome {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            if !is_prefetch {
+                e.demand_waiting = true;
+            }
+            return MshrOutcome::Merged {
+                ready_at: e.ready_at,
+                was_prefetch: e.is_prefetch,
+            };
+        }
+        if self.entries.len() == self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.push(Entry {
+            block,
+            issued_at: now,
+            ready_at,
+            is_prefetch,
+            demand_waiting: !is_prefetch,
+        });
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Returns `true` if `block` is outstanding.
+    pub fn contains(&self, block: Block) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// The completion cycle of an outstanding `block`, if any.
+    pub fn ready_at(&self, block: Block) -> Option<u64> {
+        self.entries.iter().find(|e| e.block == block).map(|e| e.ready_at)
+    }
+
+    /// Whether the outstanding entry for `block` originated as a
+    /// prefetch.
+    pub fn is_prefetch(&self, block: Block) -> Option<bool> {
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.is_prefetch)
+    }
+
+    /// Removes and returns every entry whose fetch has completed by
+    /// `now`, in completion order.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<Completion> {
+        let mut done: Vec<Completion> = Vec::new();
+        self.entries.retain(|e| {
+            if e.ready_at <= now {
+                done.push(Completion {
+                    block: e.block,
+                    issued_at: e.issued_at,
+                    ready_at: e.ready_at,
+                    is_prefetch: e.is_prefetch,
+                    demand_waiting: e.demand_waiting,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_by_key(|c| c.ready_at);
+        done
+    }
+
+    /// Number of outstanding entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// High-water mark of occupancy since creation.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_drain() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(10, 0, 20, false), MshrOutcome::Allocated);
+        assert!(m.contains(10));
+        assert_eq!(m.ready_at(10), Some(20));
+        assert!(m.drain_ready(19).is_empty());
+        let done = m.drain_ready(20);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].block, 10);
+        assert!(done[0].demand_waiting);
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(2);
+        m.allocate(5, 0, 30, true);
+        match m.allocate(5, 3, 99, false) {
+            MshrOutcome::Merged {
+                ready_at,
+                was_prefetch,
+            } => {
+                assert_eq!(ready_at, 30);
+                assert!(was_prefetch);
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        // Demand merge marks demand_waiting on a prefetch entry.
+        let done = m.drain_ready(30);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_prefetch);
+        assert!(done[0].demand_waiting);
+    }
+
+    #[test]
+    fn full_file_rejects() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 0, 10, false);
+        m.allocate(2, 0, 10, false);
+        assert_eq!(m.allocate(3, 0, 10, false), MshrOutcome::Full);
+        assert!(m.is_full());
+        m.drain_ready(10);
+        assert_eq!(m.allocate(3, 11, 20, false), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn drain_orders_by_completion() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 0, 30, false);
+        m.allocate(2, 0, 10, false);
+        m.allocate(3, 0, 20, false);
+        let done = m.drain_ready(100);
+        let blocks: Vec<_> = done.iter().map(|c| c.block).collect();
+        assert_eq!(blocks, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn prefetch_only_entry_has_no_demand_waiting() {
+        let mut m = MshrFile::new(2);
+        m.allocate(9, 0, 5, true);
+        let done = m.drain_ready(5);
+        assert!(done[0].is_prefetch);
+        assert!(!done[0].demand_waiting);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m = MshrFile::new(8);
+        m.allocate(1, 0, 10, false);
+        m.allocate(2, 0, 10, false);
+        m.allocate(3, 0, 10, false);
+        m.drain_ready(10);
+        m.allocate(4, 11, 20, false);
+        assert_eq!(m.peak_occupancy(), 3);
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A small fully-associative prefetch buffer.
+//!
+//! The paper uses such buffers in two places: the NXL side-effect study
+//! holds prefetched blocks in a 64-entry buffer next to the L1i "to
+//! immune it from cache pollution" (§IV), and Shotgun keeps a
+//! fully-associative 64-entry L1i prefetch buffer (§VI-D). SN4L and Dis
+//! are accurate enough to prefetch directly into the cache and need no
+//! buffer — making that contrast measurable is the point of this type.
+
+use dcfb_trace::Block;
+
+/// A fully-associative, LRU-replaced buffer of prefetched blocks.
+#[derive(Clone, Debug)]
+pub struct PrefetchBuffer {
+    entries: Vec<(Block, u64)>, // (block, lru stamp)
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    lookups: u64,
+    inserted: u64,
+    replaced_unused: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates an empty buffer with room for `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer capacity must be non-zero");
+        PrefetchBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            hits: 0,
+            lookups: 0,
+            inserted: 0,
+            replaced_unused: 0,
+        }
+    }
+
+    /// Inserts a prefetched block, evicting the LRU entry if full.
+    /// Returns the evicted block, if any. Re-inserting a resident block
+    /// refreshes its LRU position.
+    pub fn insert(&mut self, block: Block) -> Option<Block> {
+        self.clock += 1;
+        self.inserted += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = self.clock;
+            return None;
+        }
+        let mut evicted = None;
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .expect("buffer non-empty");
+            evicted = Some(self.entries.swap_remove(idx).0);
+            self.replaced_unused += 1;
+        }
+        self.entries.push((block, self.clock));
+        evicted
+    }
+
+    /// Demand lookup: on a hit the block is *removed* (it moves into the
+    /// cache proper) and `true` is returned.
+    pub fn take(&mut self, block: Block) -> bool {
+        self.lookups += 1;
+        if let Some(idx) = self.entries.iter().position(|(b, _)| *b == block) {
+            self.entries.swap_remove(idx);
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-destructive residency check.
+    pub fn contains(&self, block: Block) -> bool {
+        self.entries.iter().any(|(b, _)| *b == block)
+    }
+
+    /// Number of resident blocks.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(lookups, hits, inserted, evicted_unused)` counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.lookups, self.hits, self.inserted, self.replaced_unused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut pb = PrefetchBuffer::new(4);
+        assert!(pb.insert(10).is_none());
+        assert!(pb.contains(10));
+        assert!(pb.take(10));
+        assert!(!pb.contains(10));
+        assert!(!pb.take(10));
+        let (lookups, hits, inserted, _) = pb.counters();
+        assert_eq!((lookups, hits, inserted), (2, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut pb = PrefetchBuffer::new(2);
+        pb.insert(1);
+        pb.insert(2);
+        pb.insert(1); // refresh 1; LRU is now 2
+        let evicted = pb.insert(3);
+        assert_eq!(evicted, Some(2));
+        assert!(pb.contains(1));
+        assert!(pb.contains(3));
+    }
+
+    #[test]
+    fn occupancy_bounded() {
+        let mut pb = PrefetchBuffer::new(3);
+        for b in 0..10 {
+            pb.insert(b);
+            assert!(pb.occupancy() <= 3);
+        }
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut pb = PrefetchBuffer::new(4);
+        pb.insert(5);
+        pb.insert(5);
+        assert_eq!(pb.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = PrefetchBuffer::new(0);
+    }
+}

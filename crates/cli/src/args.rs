@@ -1,0 +1,223 @@
+//! Minimal dependency-free argument parsing.
+
+use dcfb_trace::IsaMode;
+
+/// Usage text shown on `help` and argument errors.
+pub const USAGE: &str = "\
+dcfb — Divide-and-Conquer Frontend Bottleneck simulator
+
+USAGE:
+    dcfb <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                 List workloads and prefetch methods
+    run                  Run one method on one workload
+    compare              Compare several methods on one workload
+    analyze              Timing-free trace analyses for one workload
+    sweep-btb            Ours-vs-Shotgun as the BTB shrinks (Fig. 18)
+    record               Write a workload trace to a file
+    replay               Simulate an external trace file
+    help                 Show this message
+
+OPTIONS:
+    --workload <NAME>    Table IV workload name (required except `list`)
+    --method <NAME>      Method for `run` (default SN4L+Dis+BTB)
+    --methods <A,B,C>    Comma-separated list for `compare`
+    --warmup <N>         Warmup instructions (default 500000)
+    --measure <N>        Measured instructions (default 1000000)
+    --seed <N>           Trace seed (default 42)
+    --isa <fixed|variable>  Instruction encoding (default fixed)
+    --json               Machine-readable output (for `run`)
+    --out <FILE>         Output path for `record`
+    --trace <FILE>       Input path for `replay`
+    --format <binary|text>  Trace format for `record` (default binary)
+";
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Subcommand name.
+    pub command: String,
+    /// `--workload`.
+    pub workload: Option<String>,
+    /// `--method`.
+    pub method: String,
+    /// `--methods`.
+    pub methods: Vec<String>,
+    /// `--warmup`.
+    pub warmup: u64,
+    /// `--measure`.
+    pub measure: u64,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--isa`.
+    pub isa: IsaMode,
+    /// `--json`.
+    pub json: bool,
+    /// `--out` (for `record`).
+    pub out: Option<String>,
+    /// `--trace` (for `replay`).
+    pub trace: Option<String>,
+    /// `--format` for `record`: `"binary"` or `"text"`.
+    pub format: String,
+}
+
+impl Cli {
+    /// Parses arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or("missing command")?;
+        let mut cli = Cli {
+            command,
+            workload: None,
+            method: "SN4L+Dis+BTB".to_owned(),
+            methods: vec![
+                "NL".into(),
+                "N4L".into(),
+                "SN4L".into(),
+                "SN4L+Dis".into(),
+                "SN4L+Dis+BTB".into(),
+                "Shotgun".into(),
+                "Confluence".into(),
+            ],
+            warmup: 500_000,
+            measure: 1_000_000,
+            seed: 42,
+            isa: IsaMode::Fixed4,
+            json: false,
+            out: None,
+            trace: None,
+            format: "binary".to_owned(),
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--workload" => cli.workload = Some(value("--workload")?),
+                "--method" => cli.method = value("--method")?,
+                "--methods" => {
+                    cli.methods = value("--methods")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if cli.methods.is_empty() {
+                        return Err("--methods list is empty".into());
+                    }
+                }
+                "--warmup" => {
+                    cli.warmup = value("--warmup")?
+                        .parse()
+                        .map_err(|_| "--warmup must be an integer")?;
+                }
+                "--measure" => {
+                    cli.measure = value("--measure")?
+                        .parse()
+                        .map_err(|_| "--measure must be an integer")?;
+                }
+                "--seed" => {
+                    cli.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer")?;
+                }
+                "--isa" => {
+                    cli.isa = match value("--isa")?.as_str() {
+                        "fixed" => IsaMode::Fixed4,
+                        "variable" => IsaMode::Variable,
+                        other => return Err(format!("unknown --isa {other:?}")),
+                    };
+                }
+                "--json" => cli.json = true,
+                "--out" => cli.out = Some(value("--out")?),
+                "--trace" => cli.trace = Some(value("--trace")?),
+                "--format" => {
+                    cli.format = value("--format")?;
+                    if cli.format != "binary" && cli.format != "text" {
+                        return Err(format!("unknown --format {:?}", cli.format));
+                    }
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The workload, or exit with a helpful message.
+    pub fn require_workload(&self) -> dcfb_workloads::Workload {
+        let Some(name) = &self.workload else {
+            eprintln!("error: --workload is required for this command");
+            eprintln!("available: {:?}", dcfb_workloads::workload_names());
+            std::process::exit(2);
+        };
+        match dcfb_workloads::workload(name) {
+            Some(w) => w,
+            None => {
+                eprintln!("error: unknown workload {name:?}");
+                eprintln!("available: {:?}", dcfb_workloads::workload_names());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cli = parse(&[
+            "run",
+            "--workload",
+            "Web (Apache)",
+            "--method",
+            "Shotgun",
+            "--warmup",
+            "1000",
+            "--measure",
+            "2000",
+            "--seed",
+            "7",
+            "--isa",
+            "variable",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, "run");
+        assert_eq!(cli.workload.as_deref(), Some("Web (Apache)"));
+        assert_eq!(cli.method, "Shotgun");
+        assert_eq!(cli.warmup, 1000);
+        assert_eq!(cli.measure, 2000);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.isa, IsaMode::Variable);
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cli = parse(&["compare", "--workload", "x"]).unwrap();
+        assert_eq!(cli.method, "SN4L+Dis+BTB");
+        assert!(cli.methods.len() >= 5);
+        assert!(!cli.json);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["run", "--bogus"]).is_err());
+        assert!(parse(&["run", "--warmup", "abc"]).is_err());
+        assert!(parse(&["run", "--isa", "thumb"]).is_err());
+        assert!(parse(&["run", "--methods", ""]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_method_lists() {
+        let cli = parse(&["compare", "--methods", "NL, Shotgun ,Confluence"]).unwrap();
+        assert_eq!(cli.methods, vec!["NL", "Shotgun", "Confluence"]);
+    }
+}

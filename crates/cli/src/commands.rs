@@ -1,0 +1,304 @@
+//! The CLI subcommands.
+
+use crate::args::Cli;
+use crate::json::JsonObject;
+use dcfb_cache::CacheConfig;
+use dcfb_frontend::ShotgunBtbConfig;
+use dcfb_sim::{analysis, run_config, PrefetcherKind, SimConfig, SimReport};
+use dcfb_sim::Simulator;
+use dcfb_trace::{CodeMemory, InstrStream, IsaMode, RecordedCode, VecTrace};
+use dcfb_workloads::{all_workloads, Walker};
+use std::sync::Arc;
+
+const METHODS: [&str; 13] = [
+    "Baseline",
+    "NL",
+    "N2L",
+    "N4L",
+    "N8L",
+    "Discontinuity",
+    "SN4L",
+    "Dis",
+    "SN4L+Dis",
+    "SN4L+Dis+BTB",
+    "Boomerang",
+    "Shotgun",
+    "Confluence",
+];
+
+fn config_for(cli: &Cli, method: &str) -> SimConfig {
+    let Some(mut cfg) = SimConfig::for_method(method) else {
+        eprintln!("error: unknown method {method:?}");
+        eprintln!("available: {METHODS:?}");
+        std::process::exit(2);
+    };
+    cfg.warmup_instrs = cli.warmup;
+    cfg.measure_instrs = cli.measure;
+    cfg.isa = cli.isa;
+    if cli.isa == IsaMode::Variable {
+        // Branch footprints need somewhere to live (§V-D).
+        cfg.uncore.dvllc = true;
+    }
+    cfg
+}
+
+/// `dcfb list`
+pub fn list() {
+    println!("workloads (Table IV):");
+    for w in all_workloads() {
+        println!(
+            "  {:16} ~{:>5.0} KiB code, {} functions",
+            w.name,
+            w.params.approx_footprint_kib(),
+            w.params.functions
+        );
+    }
+    println!("\nmethods (§VI-D):");
+    for m in METHODS {
+        println!("  {m}");
+    }
+}
+
+/// `dcfb run`
+pub fn run(cli: &Cli) {
+    let w = cli.require_workload();
+    let cfg = config_for(cli, &cli.method);
+    let base_cfg = config_for(cli, "Baseline");
+    let base = run_config(&w, base_cfg, cli.seed);
+    let r = run_config(&w, cfg, cli.seed);
+    if cli.json {
+        println!("{}", report_json(&r, Some(&base)).render());
+        return;
+    }
+    print_report(&r, &base);
+}
+
+/// `dcfb compare`
+pub fn compare(cli: &Cli) {
+    let w = cli.require_workload();
+    let base = run_config(&w, config_for(cli, "Baseline"), cli.seed);
+    println!("workload: {} | baseline IPC {:.3}\n", w.name, base.ipc());
+    println!(
+        "{:14} {:>7} {:>8} {:>9} {:>9} {:>9}",
+        "method", "IPC", "speedup", "coverage", "FSCR", "lookups"
+    );
+    for m in &cli.methods {
+        let r = run_config(&w, config_for(cli, m), cli.seed);
+        println!(
+            "{:14} {:7.3} {:7.2}x {:8.1}% {:8.1}% {:8.2}x",
+            m,
+            r.ipc(),
+            r.speedup_over(&base),
+            r.miss_coverage_over(&base) * 100.0,
+            r.fscr_over(&base) * 100.0,
+            r.lookups_over(&base),
+        );
+    }
+}
+
+/// `dcfb analyze`
+pub fn analyze(cli: &Cli) {
+    let w = cli.require_workload();
+    let image = w.image(cli.isa);
+    let (cond, uncond, indirect, rets) = image.branch_census();
+    println!("workload: {}", w.name);
+    println!("  code            : {} KiB in {} blocks", image.code_bytes() / 1024, image.code_blocks());
+    println!("  branch sites    : {cond} cond / {uncond} uncond / {indirect} indirect / {rets} ret");
+
+    let limit = cli.measure;
+    let mut walker = Walker::new(Arc::clone(&image), cli.seed);
+    let (seq, disc) = analysis::sequential_miss_fraction(&mut walker, CacheConfig::l1i(), limit);
+    println!(
+        "  L1i misses      : {:.1}% sequential ({} seq / {} disc) [Fig. 2]",
+        100.0 * seq as f64 / (seq + disc).max(1) as f64,
+        seq,
+        disc
+    );
+    let mut walker = Walker::new(Arc::clone(&image), cli.seed);
+    let pat = analysis::pattern_predictability(&mut walker, CacheConfig::l1i(), limit);
+    println!("  4-block pattern : {:.1}% predictable [Fig. 6]", pat * 100.0);
+    let mut walker = Walker::new(Arc::clone(&image), cli.seed);
+    let stab = analysis::discontinuity_stability(&mut walker, limit);
+    println!("  discontinuities : {:.1}% same-branch [Fig. 7]", stab * 100.0);
+    for per_bf in [2usize, 4] {
+        let unc = analysis::branch_footprint_coverage(&image, per_bf);
+        println!(
+            "  BF({per_bf} offsets)   : {:.2}% branches uncovered [Fig. 8]",
+            unc * 100.0
+        );
+    }
+}
+
+/// `dcfb sweep-btb`
+pub fn sweep_btb(cli: &Cli) {
+    let w = cli.require_workload();
+    println!("workload: {}\n", w.name);
+    println!(
+        "{:>10} {:>14} {:>10} {:>13} {:>16}",
+        "BTB scale", "ours (IPC)", "Shotgun", "ours/Shotgun", "footprint miss"
+    );
+    for scale in [1.0f64, 0.5, 0.25, 0.125] {
+        let mut ours = config_for(cli, "SN4L+Dis+BTB");
+        ours.btb.entries = ((ours.btb.entries as f64 * scale) as usize).max(64) / 4 * 4;
+        let ours_rep = run_config(&w, ours, cli.seed);
+        let mut shot = config_for(cli, "Shotgun");
+        shot.prefetcher = PrefetcherKind::Shotgun(ShotgunBtbConfig::scaled(scale));
+        let shot_rep = run_config(&w, shot, cli.seed);
+        println!(
+            "{:>10} {:>14.3} {:>10.3} {:>12.2}x {:>15.1}%",
+            format!("{scale:.3}x"),
+            ours_rep.ipc(),
+            shot_rep.ipc(),
+            ours_rep.ipc() / shot_rep.ipc().max(1e-9),
+            shot_rep
+                .shotgun
+                .map(|s| s.footprint_miss_ratio() * 100.0)
+                .unwrap_or(0.0)
+        );
+    }
+}
+
+fn print_report(r: &SimReport, base: &SimReport) {
+    println!("workload : {}", r.workload);
+    println!("method   : {}", r.method);
+    println!();
+    println!("cycles            : {}", r.cycles);
+    println!("instructions      : {}", r.instrs);
+    println!("IPC               : {:.3} (baseline {:.3})", r.ipc(), base.ipc());
+    println!("speedup           : {:.3}x", r.speedup_over(base));
+    println!("L1i MPKI          : {:.2} (baseline {:.2})", r.l1i_mpki(), base.l1i_mpki());
+    println!("miss coverage     : {:.1}%", r.miss_coverage_over(base) * 100.0);
+    println!("seq/disc misses   : {} / {}", r.seq_misses, r.disc_misses);
+    println!("FSCR              : {:.1}%", r.fscr_over(base) * 100.0);
+    println!("CMAL              : {:.1}%", r.cmal() * 100.0);
+    println!("cache lookups     : {:.2}x baseline", r.lookups_over(base));
+    println!("external bandwidth: {:.2}x baseline", r.bandwidth_over(base));
+    println!("branch accuracy   : {:.2}%", r.branch_accuracy * 100.0);
+    println!(
+        "stalls (cycles)   : l1i {} / btb {} / redirect {} / empty-FTQ {}",
+        r.stall_l1i, r.stall_btb, r.stall_redirect, r.stall_empty_ftq
+    );
+    println!(
+        "metadata storage  : {:.1} KB",
+        r.storage_bits as f64 / 8.0 / 1024.0
+    );
+    if let Some(s) = &r.shotgun {
+        println!(
+            "footprint misses  : {:.1}% of dynamic unconditional branches",
+            s.footprint_miss_ratio() * 100.0
+        );
+    }
+}
+
+fn report_json(r: &SimReport, base: Option<&SimReport>) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.string("workload", &r.workload)
+        .string("method", &r.method)
+        .int("cycles", r.cycles)
+        .int("instructions", r.instrs)
+        .float("ipc", r.ipc())
+        .float("l1i_mpki", r.l1i_mpki())
+        .int("seq_misses", r.seq_misses)
+        .int("disc_misses", r.disc_misses)
+        .float("cmal", r.cmal())
+        .int("stall_l1i", r.stall_l1i)
+        .int("stall_btb", r.stall_btb)
+        .int("stall_redirect", r.stall_redirect)
+        .int("stall_empty_ftq", r.stall_empty_ftq)
+        .int("external_requests", r.external_requests)
+        .int("cache_lookups", r.cache_lookups)
+        .float("branch_accuracy", r.branch_accuracy)
+        .int("storage_bits", r.storage_bits);
+    if let Some(b) = base {
+        o.float("speedup", r.speedup_over(b))
+            .float("miss_coverage", r.miss_coverage_over(b))
+            .float("fscr", r.fscr_over(b))
+            .float("bandwidth_rel", r.bandwidth_over(b))
+            .float("lookups_rel", r.lookups_over(b));
+    }
+    o
+}
+
+
+/// `dcfb record`
+pub fn record(cli: &Cli) {
+    let w = cli.require_workload();
+    let Some(out) = &cli.out else {
+        eprintln!("error: --out is required for record");
+        std::process::exit(2);
+    };
+    let image = w.image(cli.isa);
+    let mut walker = Walker::new(image, cli.seed);
+    // Skip the warmup region so the recorded window matches `run`.
+    for _ in 0..cli.warmup {
+        walker.next_instr();
+    }
+    let file = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {out}: {e}");
+        std::process::exit(1);
+    });
+    let written = match cli.format.as_str() {
+        "text" => dcfb_trace::write_text(&mut walker, file, cli.measure),
+        _ => dcfb_trace::write_binary(&mut walker, file, cli.measure),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: write failed: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {written} instructions of {} to {out} ({})", w.name, cli.format);
+}
+
+/// `dcfb replay`
+pub fn replay(cli: &Cli) {
+    let Some(path) = &cli.trace else {
+        eprintln!("error: --trace is required for replay");
+        std::process::exit(2);
+    };
+    let data = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    // Sniff the format by magic.
+    let trace: VecTrace = if data.starts_with(dcfb_trace::file::MAGIC) {
+        dcfb_trace::read_binary(data.as_slice())
+    } else {
+        dcfb_trace::read_text(data.as_slice())
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    if trace.is_empty() {
+        eprintln!("error: empty trace");
+        std::process::exit(1);
+    }
+    let start_pc = trace.instrs()[0].pc;
+    let code: Arc<dyn CodeMemory + Send + Sync> =
+        Arc::new(RecordedCode::from_trace(trace.instrs()));
+    let label = path.clone();
+    let total = trace.len() as u64;
+    let warmup = cli.warmup.min(total / 2);
+    let measure = (total - warmup).min(cli.measure);
+
+    let run_one = |method: &str| {
+        let mut cfg = config_for(cli, method);
+        cfg.warmup_instrs = warmup;
+        cfg.measure_instrs = measure;
+        let mut sim = Simulator::with_code(cfg, Arc::clone(&code), start_pc, label.clone());
+        let mut replayer = trace.replay();
+        sim.run(&mut replayer)
+    };
+    let base = run_one("Baseline");
+    let r = run_one(&cli.method);
+    if cli.json {
+        // Reuse the same JSON shape as `run`.
+        println!("{}", report_json(&r, Some(&base)).render());
+        return;
+    }
+    println!(
+        "replayed {} instructions ({warmup} warmup + {measure} measured)
+",
+        total
+    );
+    print_report(&r, &base);
+}

@@ -1,0 +1,90 @@
+//! Tiny hand-rolled JSON emitter (keeps the CLI dependency-free).
+
+/// Builds one flat JSON object from key/value pairs.
+#[derive(Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields
+            .push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Adds a float field (6 significant decimals; NaN/inf become null).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_owned()
+        };
+        self.fields.push(format!("\"{}\": {v}", escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.fields.join(", "))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let mut o = JsonObject::new();
+        o.string("name", "SN4L+Dis+BTB")
+            .int("cycles", 123)
+            .float("ipc", 0.75);
+        assert_eq!(
+            o.render(),
+            "{\"name\": \"SN4L+Dis+BTB\", \"cycles\": 123, \"ipc\": 0.750000}"
+        );
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let mut o = JsonObject::new();
+        o.string("k", "a\"b\\c\nd");
+        assert_eq!(o.render(), "{\"k\": \"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.float("x", f64::NAN);
+        assert_eq!(o.render(), "{\"x\": null}");
+    }
+}

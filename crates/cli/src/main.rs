@@ -1,0 +1,46 @@
+//! `dcfb` — command-line driver for the DCFB reproduction.
+//!
+//! ```text
+//! dcfb list
+//! dcfb run      --workload "OLTP (DB A)" --method SN4L+Dis+BTB [options]
+//! dcfb compare  --workload "Web (Apache)" [--methods a,b,c] [options]
+//! dcfb analyze  --workload "Media Streaming" [options]
+//! dcfb sweep-btb --workload "OLTP (DB A)" [options]
+//! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
+//! dcfb replay   --trace trace.dcfbt --method Shotgun [options]
+//! ```
+//!
+//! Common options: `--warmup N`, `--measure N`, `--seed N`,
+//! `--isa fixed|variable`, `--json` (machine-readable output for `run`).
+
+mod args;
+mod commands;
+mod json;
+
+use args::Cli;
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cli.command.as_str() {
+        "list" => commands::list(),
+        "run" => commands::run(&cli),
+        "compare" => commands::compare(&cli),
+        "analyze" => commands::analyze(&cli),
+        "sweep-btb" => commands::sweep_btb(&cli),
+        "record" => commands::record(&cli),
+        "replay" => commands::replay(&cli),
+        "help" | "--help" | "-h" => println!("{}", args::USAGE),
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

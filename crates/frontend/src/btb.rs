@@ -1,0 +1,359 @@
+//! A conventional PC-indexed, set-associative branch target buffer.
+//!
+//! The paper's BTB prefetcher is deliberately "independent of the BTB
+//! type" (§V-C): it works against exactly this structure, with no
+//! basic-block reorganization. Table III gives the baseline size:
+//! 2 K entries.
+
+use dcfb_trace::{Addr, StaticKind};
+
+/// The branch class stored with a BTB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Conditional branch.
+    Conditional,
+    /// Direct unconditional jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Indirect jump.
+    IndirectJump,
+    /// Indirect call.
+    IndirectCall,
+    /// Return.
+    Return,
+}
+
+impl BranchClass {
+    /// Maps a static (pre-decoded) branch kind to a BTB class.
+    /// Returns `None` for non-branches.
+    pub fn from_static(kind: StaticKind) -> Option<Self> {
+        match kind {
+            StaticKind::Other => None,
+            StaticKind::CondBranch => Some(BranchClass::Conditional),
+            StaticKind::Jump => Some(BranchClass::Jump),
+            StaticKind::Call => Some(BranchClass::Call),
+            StaticKind::IndirectJump => Some(BranchClass::IndirectJump),
+            StaticKind::IndirectCall => Some(BranchClass::IndirectCall),
+            StaticKind::Return => Some(BranchClass::Return),
+        }
+    }
+
+    /// Whether this class is unconditional.
+    pub fn is_unconditional(self) -> bool {
+        !matches!(self, BranchClass::Conditional)
+    }
+
+    /// Whether this class pushes a return address.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchClass::Call | BranchClass::IndirectCall)
+    }
+}
+
+/// One BTB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// The branch instruction's address.
+    pub pc: Addr,
+    /// Predicted target (last seen for indirects).
+    pub target: Addr,
+    /// Branch class.
+    pub class: BranchClass,
+}
+
+/// BTB geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total entries; must be `ways * power_of_two`.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl BtbConfig {
+    /// The paper's baseline: 2 K entries (Table III), 4-way.
+    pub fn baseline_2k() -> Self {
+        BtbConfig {
+            entries: 2048,
+            ways: 4,
+        }
+    }
+
+    /// The 16 K-entry BTB used to model Confluence's upper bound
+    /// (§VI-D1).
+    pub fn confluence_16k() -> Self {
+        BtbConfig {
+            entries: 16 * 1024,
+            ways: 4,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that found the branch.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+impl BtbStats {
+    /// Miss ratio over all lookups.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    target: Addr,
+    class: BranchClass,
+}
+
+/// A set-associative, true-LRU BTB.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    cfg: BtbConfig,
+    ways: Vec<Way>,
+    clock: u64,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (sets not a power of two).
+    pub fn new(cfg: BtbConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.entries % cfg.ways == 0, "bad BTB shape");
+        assert!(cfg.sets().is_power_of_two(), "BTB sets not a power of two");
+        Btb {
+            cfg,
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                    target: 0,
+                    class: BranchClass::Jump,
+                };
+                cfg.entries
+            ],
+            clock: 0,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> BtbConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Resets statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = BtbStats::default();
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> (usize, u64) {
+        let sets = self.cfg.sets();
+        let idx = ((pc >> 2) as usize) & (sets - 1);
+        let tag = pc >> (2 + sets.trailing_zeros());
+        (idx, tag)
+    }
+
+    /// Looks up `pc`, updating LRU and statistics.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        self.clock += 1;
+        self.stats.lookups += 1;
+        let (set, tag) = self.index(pc);
+        let base = set * self.cfg.ways;
+        for i in base..base + self.cfg.ways {
+            if self.ways[i].valid && self.ways[i].tag == tag {
+                self.ways[i].stamp = self.clock;
+                self.stats.hits += 1;
+                return Some(BtbEntry {
+                    pc,
+                    target: self.ways[i].target,
+                    class: self.ways[i].class,
+                });
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Checks residency without LRU update or statistics.
+    pub fn contains(&self, pc: Addr) -> bool {
+        let (set, tag) = self.index(pc);
+        let base = set * self.cfg.ways;
+        (base..base + self.cfg.ways).any(|i| self.ways[i].valid && self.ways[i].tag == tag)
+    }
+
+    /// Inserts or updates the entry for `entry.pc`.
+    pub fn insert(&mut self, entry: BtbEntry) {
+        self.clock += 1;
+        self.stats.inserts += 1;
+        let (set, tag) = self.index(entry.pc);
+        let base = set * self.cfg.ways;
+        // Update in place if present.
+        for i in base..base + self.cfg.ways {
+            if self.ways[i].valid && self.ways[i].tag == tag {
+                self.ways[i].target = entry.target;
+                self.ways[i].class = entry.class;
+                self.ways[i].stamp = self.clock;
+                return;
+            }
+        }
+        let victim = (base..base + self.cfg.ways)
+            .find(|&i| !self.ways[i].valid)
+            .unwrap_or_else(|| {
+                (base..base + self.cfg.ways)
+                    .min_by_key(|&i| self.ways[i].stamp)
+                    .expect("non-empty set")
+            });
+        self.ways[victim] = Way {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            target: entry.target,
+            class: entry.class,
+        };
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: Addr, target: Addr) -> BtbEntry {
+        BtbEntry {
+            pc,
+            target,
+            class: BranchClass::Conditional,
+        }
+    }
+
+    fn small() -> Btb {
+        Btb::new(BtbConfig { entries: 8, ways: 2 }) // 4 sets
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut b = small();
+        assert!(b.lookup(0x1000).is_none());
+        b.insert(entry(0x1000, 0x2000));
+        let e = b.lookup(0x1000).unwrap();
+        assert_eq!(e.target, 0x2000);
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn update_in_place_changes_target() {
+        let mut b = small();
+        b.insert(entry(0x1000, 0x2000));
+        b.insert(entry(0x1000, 0x3000));
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.lookup(0x1000).unwrap().target, 0x3000);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut b = small();
+        // Same set: pcs differing in bits above the index. Set index uses
+        // pc >> 2 over 4 sets, so a stride of 64 keeps the set.
+        b.insert(entry(0x0, 0x1));
+        b.insert(entry(0x40, 0x2));
+        b.lookup(0x0); // make 0x40 LRU
+        b.insert(entry(0x80, 0x3));
+        assert!(b.contains(0x0));
+        assert!(!b.contains(0x40));
+        assert!(b.contains(0x80));
+    }
+
+    #[test]
+    fn class_round_trips() {
+        let mut b = small();
+        b.insert(BtbEntry {
+            pc: 0x10,
+            target: 0x99,
+            class: BranchClass::Return,
+        });
+        assert_eq!(b.lookup(0x10).unwrap().class, BranchClass::Return);
+    }
+
+    #[test]
+    fn from_static_mapping() {
+        assert_eq!(
+            BranchClass::from_static(StaticKind::CondBranch),
+            Some(BranchClass::Conditional)
+        );
+        assert_eq!(BranchClass::from_static(StaticKind::Other), None);
+        assert!(BranchClass::from_static(StaticKind::Call)
+            .unwrap()
+            .is_call());
+        assert!(BranchClass::from_static(StaticKind::Return)
+            .unwrap()
+            .is_unconditional());
+        assert!(!BranchClass::Conditional.is_unconditional());
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut b = small();
+        b.lookup(0x4);
+        b.insert(entry(0x4, 0x8));
+        b.lookup(0x4);
+        assert!((b.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(BtbConfig::baseline_2k().entries, 2048);
+        assert_eq!(BtbConfig::confluence_16k().entries, 16384);
+        let b = Btb::new(BtbConfig::baseline_2k());
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn distinct_pcs_in_same_block_coexist() {
+        let mut b = Btb::new(BtbConfig {
+            entries: 64,
+            ways: 4,
+        });
+        for i in 0..8u64 {
+            b.insert(entry(0x1000 + i * 4, 0x2000 + i));
+        }
+        for i in 0..8u64 {
+            assert_eq!(b.lookup(0x1000 + i * 4).unwrap().target, 0x2000 + i);
+        }
+    }
+}

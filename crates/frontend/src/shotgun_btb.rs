@@ -1,0 +1,570 @@
+//! Shotgun's split BTB: U-BTB + C-BTB + RIB with spatial footprints.
+//!
+//! Shotgun (ASPLOS'18, [20]) dedicates most of its BTB budget to
+//! unconditional branches (U-BTB), keeps a tiny conditional-branch BTB
+//! (C-BTB) that is aggressively prefilled by pre-decoding, and tracks
+//! returns in a RIB. Each U-BTB entry additionally stores two *spatial
+//! footprints* learned from the retired instruction stream:
+//!
+//! * the **call footprint** — which blocks around the branch target were
+//!   touched after the control transfer (used to prefetch the callee's
+//!   working set), and
+//! * the **return footprint** — which blocks around the matching return
+//!   target were touched (prefetched when the callee's return is
+//!   near).
+//!
+//! §III of the DCFB paper shows the failure mode this reproduction must
+//! exhibit: when the U-BTB cannot hold a workload's unconditional
+//! working set, footprints are missing (*footprint misses*, Fig. 1),
+//! proactive prefetching stops, C-BTB prefilling starves, and the core
+//! crawls block-by-block (Table I's empty-FTQ stalls).
+
+use crate::btb::BranchClass;
+use dcfb_trace::Addr;
+
+/// A spatial footprint: bit `i` set means block `base_block + i` was
+/// touched, where `base_block` is the block of the footprint's anchor
+/// address (branch target for call footprints, return target for return
+/// footprints).
+pub type SpatialFootprint = u8;
+
+/// One U-BTB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UBtbEntry {
+    /// Basic-block start this entry is keyed by.
+    pub pc: Addr,
+    /// Address of the terminating branch instruction (the basic block
+    /// spans `pc..=end`).
+    pub end: Addr,
+    /// Branch target.
+    pub target: Addr,
+    /// Branch class (unconditional: jump/call/indirect).
+    pub class: BranchClass,
+    /// Blocks touched around `target` (0 = not yet learned).
+    pub call_footprint: SpatialFootprint,
+    /// Blocks touched around the matching return target
+    /// (0 = not yet learned).
+    pub ret_footprint: SpatialFootprint,
+}
+
+/// Shotgun BTB geometry (defaults follow §VI-D2: 1.5 K U-BTB,
+/// 128-entry C-BTB, 512-entry RIB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShotgunBtbConfig {
+    /// U-BTB entries.
+    pub u_entries: usize,
+    /// C-BTB entries.
+    pub c_entries: usize,
+    /// RIB entries.
+    pub r_entries: usize,
+    /// Associativity of every component.
+    pub ways: usize,
+}
+
+impl Default for ShotgunBtbConfig {
+    fn default() -> Self {
+        ShotgunBtbConfig {
+            u_entries: 1536,
+            c_entries: 128,
+            r_entries: 512,
+            ways: 4,
+        }
+    }
+}
+
+impl ShotgunBtbConfig {
+    /// A configuration scaled by `factor` (Fig. 18's BTB-size sweep
+    /// shrinks all components proportionally).
+    pub fn scaled(factor: f64) -> Self {
+        let d = ShotgunBtbConfig::default();
+        let scale = |n: usize| (((n as f64) * factor) as usize).max(8);
+        ShotgunBtbConfig {
+            u_entries: scale(d.u_entries),
+            c_entries: scale(d.c_entries),
+            r_entries: scale(d.r_entries),
+            ways: d.ways,
+        }
+    }
+}
+
+/// Per-component and footprint statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShotgunBtbStats {
+    /// U-BTB lookups (unconditional branch sites).
+    pub u_lookups: u64,
+    /// U-BTB hits.
+    pub u_hits: u64,
+    /// U-BTB hits whose call footprint was learned (non-zero).
+    pub u_footprint_hits: u64,
+    /// C-BTB lookups.
+    pub c_lookups: u64,
+    /// C-BTB hits.
+    pub c_hits: u64,
+    /// RIB lookups.
+    pub r_lookups: u64,
+    /// RIB hits.
+    pub r_hits: u64,
+}
+
+impl ShotgunBtbStats {
+    /// The paper's Fig. 1 metric: the fraction of U-BTB accesses that
+    /// could not supply a learned footprint (entry missing *or* entry
+    /// present with an unconstructed footprint).
+    pub fn footprint_miss_ratio(&self) -> f64 {
+        if self.u_lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.u_footprint_hits as f64 / self.u_lookups as f64
+        }
+    }
+
+    /// C-BTB miss ratio.
+    pub fn c_miss_ratio(&self) -> f64 {
+        if self.c_lookups == 0 {
+            0.0
+        } else {
+            1.0 - self.c_hits as f64 / self.c_lookups as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct UWay {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    end: Addr,
+    target: Addr,
+    class: BranchClass,
+    call_fp: SpatialFootprint,
+    ret_fp: SpatialFootprint,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SmallWay {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    end: Addr,
+    target: Addr,
+}
+
+/// The three-part Shotgun BTB.
+#[derive(Clone, Debug)]
+pub struct ShotgunBtb {
+    cfg: ShotgunBtbConfig,
+    u: Vec<UWay>,
+    c: Vec<SmallWay>,
+    r: Vec<SmallWay>,
+    clock: u64,
+    stats: ShotgunBtbStats,
+}
+
+impl ShotgunBtb {
+    /// Creates an empty split BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component size is not a multiple of `ways`.
+    pub fn new(cfg: ShotgunBtbConfig) -> Self {
+        for (n, name) in [
+            (cfg.u_entries, "u_entries"),
+            (cfg.c_entries, "c_entries"),
+            (cfg.r_entries, "r_entries"),
+        ] {
+            assert!(
+                n % cfg.ways == 0 && n > 0,
+                "{name} ({n}) not divisible by ways ({})",
+                cfg.ways
+            );
+        }
+        ShotgunBtb {
+            cfg,
+            u: vec![
+                UWay {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                    end: 0,
+                    target: 0,
+                    class: BranchClass::Jump,
+                    call_fp: 0,
+                    ret_fp: 0,
+                };
+                cfg.u_entries
+            ],
+            c: vec![
+                SmallWay {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                    end: 0,
+                    target: 0
+                };
+                cfg.c_entries
+            ],
+            r: vec![
+                SmallWay {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                    end: 0,
+                    target: 0
+                };
+                cfg.r_entries
+            ],
+            clock: 0,
+            stats: ShotgunBtbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ShotgunBtbConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ShotgunBtbStats {
+        self.stats
+    }
+
+    /// Resets statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = ShotgunBtbStats::default();
+    }
+
+    fn locate(n_entries: usize, ways: usize, pc: Addr) -> (usize, u64) {
+        let sets = n_entries / ways;
+        let set = ((pc >> 2) as usize) % sets;
+        let tag = (pc >> 2) / sets as u64;
+        (set * ways, tag)
+    }
+
+    /// Looks up an unconditional branch in the U-BTB.
+    pub fn lookup_u(&mut self, pc: Addr) -> Option<UBtbEntry> {
+        self.clock += 1;
+        self.stats.u_lookups += 1;
+        let (base, tag) = Self::locate(self.cfg.u_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.u[i].valid && self.u[i].tag == tag {
+                self.u[i].stamp = self.clock;
+                self.stats.u_hits += 1;
+                if self.u[i].call_fp != 0 {
+                    self.stats.u_footprint_hits += 1;
+                }
+                return Some(UBtbEntry {
+                    pc,
+                    end: self.u[i].end,
+                    target: self.u[i].target,
+                    class: self.u[i].class,
+                    call_footprint: self.u[i].call_fp,
+                    ret_footprint: self.u[i].ret_fp,
+                });
+            }
+        }
+        None
+    }
+
+    /// Looks up a conditional-branch basic block in the C-BTB; returns
+    /// `(end, target)` — the terminating branch address and its taken
+    /// target.
+    pub fn lookup_c(&mut self, pc: Addr) -> Option<(Addr, Addr)> {
+        self.clock += 1;
+        self.stats.c_lookups += 1;
+        let (base, tag) = Self::locate(self.cfg.c_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.c[i].valid && self.c[i].tag == tag {
+                self.c[i].stamp = self.clock;
+                self.stats.c_hits += 1;
+                return Some((self.c[i].end, self.c[i].target));
+            }
+        }
+        None
+    }
+
+    /// Looks up a return basic block in the RIB; returns the address of
+    /// the return instruction.
+    pub fn lookup_r(&mut self, pc: Addr) -> Option<Addr> {
+        self.clock += 1;
+        self.stats.r_lookups += 1;
+        let (base, tag) = Self::locate(self.cfg.r_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.r[i].valid && self.r[i].tag == tag {
+                self.r[i].stamp = self.clock;
+                self.stats.r_hits += 1;
+                return Some(self.r[i].end);
+            }
+        }
+        None
+    }
+
+    /// Checks, without disturbing LRU or statistics, whether the U-BTB
+    /// holds `pc` and whether its call footprint has been learned.
+    /// Returns `None` on a miss, `Some(has_footprint)` on a hit. Used
+    /// for the retire-side Fig. 1 accounting.
+    pub fn peek_u_footprint(&self, pc: Addr) -> Option<bool> {
+        let (base, tag) = Self::locate(self.cfg.u_entries, self.cfg.ways, pc);
+        (base..base + self.cfg.ways)
+            .find(|&i| self.u[i].valid && self.u[i].tag == tag)
+            .map(|i| self.u[i].call_fp != 0)
+    }
+
+    /// Inserts (or refreshes) an unconditional branch. Footprints of a
+    /// *new* entry start unlearned; a refresh keeps the learned
+    /// footprints and updates the target.
+    pub fn insert_u(&mut self, pc: Addr, end: Addr, target: Addr, class: BranchClass) {
+        self.clock += 1;
+        let (base, tag) = Self::locate(self.cfg.u_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.u[i].valid && self.u[i].tag == tag {
+                self.u[i].end = end;
+                self.u[i].target = target;
+                self.u[i].class = class;
+                self.u[i].stamp = self.clock;
+                return;
+            }
+        }
+        let victim = (base..base + self.cfg.ways)
+            .find(|&i| !self.u[i].valid)
+            .unwrap_or_else(|| {
+                (base..base + self.cfg.ways)
+                    .min_by_key(|&i| self.u[i].stamp)
+                    .expect("set non-empty")
+            });
+        self.u[victim] = UWay {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            end,
+            target,
+            class,
+            call_fp: 0,
+            ret_fp: 0,
+        };
+    }
+
+    /// Merges learned footprints into an existing U-BTB entry (no-op if
+    /// the branch has been evicted — footprints cannot be prefilled,
+    /// which is exactly Fig. 1's pathology).
+    pub fn learn_footprints(
+        &mut self,
+        pc: Addr,
+        call_fp: SpatialFootprint,
+        ret_fp: SpatialFootprint,
+    ) {
+        let (base, tag) = Self::locate(self.cfg.u_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.u[i].valid && self.u[i].tag == tag {
+                self.u[i].call_fp |= call_fp;
+                self.u[i].ret_fp |= ret_fp;
+                return;
+            }
+        }
+    }
+
+    /// Inserts a conditional-branch basic block into the C-BTB.
+    pub fn insert_c(&mut self, pc: Addr, end: Addr, target: Addr) {
+        self.clock += 1;
+        let (base, tag) = Self::locate(self.cfg.c_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.c[i].valid && self.c[i].tag == tag {
+                self.c[i].end = end;
+                self.c[i].target = target;
+                self.c[i].stamp = self.clock;
+                return;
+            }
+        }
+        let victim = (base..base + self.cfg.ways)
+            .find(|&i| !self.c[i].valid)
+            .unwrap_or_else(|| {
+                (base..base + self.cfg.ways)
+                    .min_by_key(|&i| self.c[i].stamp)
+                    .expect("set non-empty")
+            });
+        self.c[victim] = SmallWay {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            end,
+            target,
+        };
+    }
+
+    /// Inserts a return basic block into the RIB.
+    pub fn insert_r(&mut self, pc: Addr, end: Addr) {
+        self.clock += 1;
+        let (base, tag) = Self::locate(self.cfg.r_entries, self.cfg.ways, pc);
+        for i in base..base + self.cfg.ways {
+            if self.r[i].valid && self.r[i].tag == tag {
+                self.r[i].end = end;
+                self.r[i].stamp = self.clock;
+                return;
+            }
+        }
+        let victim = (base..base + self.cfg.ways)
+            .find(|&i| !self.r[i].valid)
+            .unwrap_or_else(|| {
+                (base..base + self.cfg.ways)
+                    .min_by_key(|&i| self.r[i].stamp)
+                    .expect("set non-empty")
+            });
+        self.r[victim] = SmallWay {
+            tag,
+            valid: true,
+            stamp: self.clock,
+            end,
+            target: 0,
+        };
+    }
+}
+
+/// Builds a spatial footprint from block deltas relative to an anchor
+/// block: deltas outside `0..8` are ignored.
+pub fn footprint_from_deltas<I: IntoIterator<Item = i64>>(deltas: I) -> SpatialFootprint {
+    let mut fp = 0u8;
+    for d in deltas {
+        if (0..8).contains(&d) {
+            fp |= 1 << d;
+        }
+    }
+    fp
+}
+
+/// Expands a footprint into block numbers given its anchor block.
+pub fn footprint_blocks(anchor_block: u64, fp: SpatialFootprint) -> Vec<u64> {
+    (0..8)
+        .filter(|i| fp & (1 << i) != 0)
+        .map(|i| anchor_block + i as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb() -> ShotgunBtb {
+        ShotgunBtb::new(ShotgunBtbConfig {
+            u_entries: 16,
+            c_entries: 8,
+            r_entries: 8,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn u_btb_miss_insert_hit() {
+        let mut b = btb();
+        assert!(b.lookup_u(0x100).is_none());
+        b.insert_u(0x100, 0x10c, 0x900, BranchClass::Call);
+        let e = b.lookup_u(0x100).unwrap();
+        assert_eq!(e.target, 0x900);
+        assert_eq!(e.class, BranchClass::Call);
+        assert_eq!(e.call_footprint, 0);
+    }
+
+    #[test]
+    fn footprint_learning_and_miss_ratio() {
+        let mut b = btb();
+        b.insert_u(0x100, 0x10c, 0x900, BranchClass::Call);
+        b.lookup_u(0x100); // hit, but footprint unlearned
+        b.learn_footprints(0x100, 0b101, 0b1);
+        let e = b.lookup_u(0x100).unwrap();
+        assert_eq!(e.call_footprint, 0b101);
+        assert_eq!(e.ret_footprint, 0b1);
+        // 2 lookups: 1 hit without a footprint + 1 hit with one.
+        let s = b.stats();
+        assert_eq!(s.u_lookups, 2);
+        assert_eq!(s.u_footprint_hits, 1);
+        assert!((s.footprint_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprints_lost_on_eviction() {
+        let mut b = btb();
+        // U-BTB: 16 entries / 2 ways = 8 sets; pc stride 8*4=32 keeps set.
+        b.insert_u(0x0, 0xc, 0x900, BranchClass::Call);
+        b.learn_footprints(0x0, 0xff, 0xff);
+        b.insert_u(0x20, 0x2c, 0x901, BranchClass::Call);
+        b.insert_u(0x40, 0x4c, 0x902, BranchClass::Call); // evicts 0x0 (LRU)
+        assert!(b.lookup_u(0x0).is_none());
+        b.insert_u(0x0, 0xc, 0x900, BranchClass::Call); // prefill-style reinsert
+        // Footprint must be unlearned again — BTB prefilling cannot
+        // restore footprints (the §III pathology).
+        assert_eq!(b.lookup_u(0x0).unwrap().call_footprint, 0);
+    }
+
+    #[test]
+    fn learn_into_evicted_entry_is_noop() {
+        let mut b = btb();
+        b.learn_footprints(0x500, 0xff, 0xff);
+        assert!(b.lookup_u(0x500).is_none());
+    }
+
+    #[test]
+    fn c_btb_and_rib_roundtrip() {
+        let mut b = btb();
+        assert!(b.lookup_c(0x10).is_none());
+        b.insert_c(0x10, 0x1c, 0x300);
+        assert_eq!(b.lookup_c(0x10), Some((0x1c, 0x300)));
+        assert!(b.lookup_r(0x14).is_none());
+        b.insert_r(0x14, 0x18);
+        assert_eq!(b.lookup_r(0x14), Some(0x18));
+        let s = b.stats();
+        assert_eq!(s.c_lookups, 2);
+        assert_eq!(s.c_hits, 1);
+        assert!((s.c_miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.r_hits, 1);
+    }
+
+    #[test]
+    fn refresh_keeps_footprints() {
+        let mut b = btb();
+        b.insert_u(0x100, 0x10c, 0x900, BranchClass::Call);
+        b.learn_footprints(0x100, 0b11, 0);
+        b.insert_u(0x100, 0x10c, 0x904, BranchClass::Call); // target changed
+        let e = b.lookup_u(0x100).unwrap();
+        assert_eq!(e.target, 0x904);
+        assert_eq!(e.call_footprint, 0b11);
+    }
+
+    #[test]
+    fn footprint_helpers() {
+        let fp = footprint_from_deltas([0i64, 2, 9, -1]);
+        assert_eq!(fp, 0b101);
+        assert_eq!(footprint_blocks(100, fp), vec![100, 102]);
+        assert_eq!(footprint_blocks(5, 0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scaled_config() {
+        let half = ShotgunBtbConfig::scaled(0.5);
+        assert_eq!(half.u_entries, 768);
+        assert_eq!(half.c_entries, 64);
+        let tiny = ShotgunBtbConfig::scaled(0.001);
+        assert!(tiny.u_entries >= 8);
+    }
+
+    #[test]
+    fn default_is_papers_configuration() {
+        let d = ShotgunBtbConfig::default();
+        assert_eq!(d.u_entries, 1536);
+        assert_eq!(d.c_entries, 128);
+        assert_eq!(d.r_entries, 512);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        let mut b = ShotgunBtb::new(ShotgunBtbConfig {
+            u_entries: 4,
+            c_entries: 4,
+            r_entries: 4,
+            ways: 4,
+        });
+        for i in 0..8u64 {
+            b.insert_u(i * 4, i * 4, 0x100 + i, BranchClass::Jump);
+        }
+        // Only the last 4 survive (single set, 4 ways).
+        let survivors = (0..8u64).filter(|&i| b.lookup_u(i * 4).is_some()).count();
+        assert_eq!(survivors, 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! The BTB prefetch buffer (§V-C).
+//!
+//! Pre-decoded branches are staged here instead of being force-fed into
+//! the BTB; a hit moves the matching entry into the BTB proper. Entries
+//! are organized Confluence-style: one entry holds *all* branches of a
+//! cache block, so a whole block's branches are stored in a single
+//! buffer access. The paper's configuration is 32 entries, 2-way
+//! set-associative (1 KB).
+
+use dcfb_frontend::BtbEntry;
+use dcfb_trace::{block_of, Addr, Block};
+
+#[derive(Clone, Debug)]
+struct BufEntry {
+    block: Block,
+    stamp: u64,
+    branches: Vec<BtbEntry>,
+}
+
+/// A small set-associative buffer of pre-decoded block branch sets.
+#[derive(Clone, Debug)]
+pub struct BtbPrefetchBuffer {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<BufEntry>>,
+    clock: u64,
+    fills: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl BtbPrefetchBuffer {
+    /// Creates a buffer with `entries` block slots and associativity
+    /// `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries % ways == 0, "bad buffer shape");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        BtbPrefetchBuffer {
+            sets,
+            ways,
+            slots: vec![None; entries],
+            clock: 0,
+            fills: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// The paper's configuration: 32 entries, 2-way.
+    pub fn paper_sized() -> Self {
+        BtbPrefetchBuffer::new(32, 2)
+    }
+
+    fn base(&self, block: Block) -> usize {
+        ((block as usize) & (self.sets - 1)) * self.ways
+    }
+
+    /// Stores the branches of `block`, replacing the set's LRU entry.
+    /// Empty branch sets are ignored.
+    pub fn fill(&mut self, block: Block, branches: Vec<BtbEntry>) {
+        if branches.is_empty() {
+            return;
+        }
+        self.clock += 1;
+        self.fills += 1;
+        let base = self.base(block);
+        // Update in place.
+        for i in base..base + self.ways {
+            if let Some(e) = &mut self.slots[i] {
+                if e.block == block {
+                    e.branches = branches;
+                    e.stamp = self.clock;
+                    return;
+                }
+            }
+        }
+        let victim = (base..base + self.ways)
+            .find(|&i| self.slots[i].is_none())
+            .unwrap_or_else(|| {
+                (base..base + self.ways)
+                    .min_by_key(|&i| self.slots[i].as_ref().map(|e| e.stamp).unwrap_or(0))
+                    .expect("non-empty set")
+            });
+        self.slots[victim] = Some(BufEntry {
+            block,
+            stamp: self.clock,
+            branches,
+        });
+    }
+
+    /// Looks for the branch at `pc`; on a hit, removes and returns the
+    /// *whole block entry's* branches (they move into the BTB together,
+    /// §V-C).
+    pub fn take_for(&mut self, pc: Addr) -> Option<Vec<BtbEntry>> {
+        self.lookups += 1;
+        let block = block_of(pc);
+        let base = self.base(block);
+        for i in base..base + self.ways {
+            let matches = self.slots[i]
+                .as_ref()
+                .is_some_and(|e| e.block == block && e.branches.iter().any(|b| b.pc == pc));
+            if matches {
+                self.hits += 1;
+                return self.slots[i].take().map(|e| e.branches);
+            }
+        }
+        None
+    }
+
+    /// Non-destructive residency check for the branch at `pc`.
+    pub fn contains_branch(&self, pc: Addr) -> bool {
+        let block = block_of(pc);
+        let base = self.base(block);
+        (base..base + self.ways).any(|i| {
+            self.slots[i]
+                .as_ref()
+                .is_some_and(|e| e.block == block && e.branches.iter().any(|b| b.pc == pc))
+        })
+    }
+
+    /// `(fills, lookups, hits)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.fills, self.lookups, self.hits)
+    }
+
+    /// Storage cost in bits: per entry, a block tag (~34 b) plus up to
+    /// four compressed branch records (~60 b each), matching the
+    /// paper's ≈1 KB figure for 32 entries.
+    pub fn storage_bits(&self) -> u64 {
+        (self.slots.len() as u64) * (34 + 4 * 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfb_frontend::BranchClass;
+
+    fn entry(pc: Addr, target: Addr) -> BtbEntry {
+        BtbEntry {
+            pc,
+            target,
+            class: BranchClass::Conditional,
+        }
+    }
+
+    #[test]
+    fn fill_take_roundtrip() {
+        let mut b = BtbPrefetchBuffer::paper_sized();
+        let pc = 100 * 64 + 8;
+        b.fill(100, vec![entry(pc, 0x999), entry(pc + 4, 0x888)]);
+        assert!(b.contains_branch(pc));
+        assert!(b.contains_branch(pc + 4));
+        let branches = b.take_for(pc).unwrap();
+        assert_eq!(branches.len(), 2);
+        // Whole entry consumed.
+        assert!(!b.contains_branch(pc + 4));
+        assert_eq!(b.counters(), (1, 1, 1));
+    }
+
+    #[test]
+    fn miss_on_absent_branch() {
+        let mut b = BtbPrefetchBuffer::paper_sized();
+        b.fill(100, vec![entry(100 * 64, 1)]);
+        assert!(b.take_for(100 * 64 + 32).is_none());
+        assert!(b.take_for(101 * 64).is_none());
+    }
+
+    #[test]
+    fn empty_fill_ignored() {
+        let mut b = BtbPrefetchBuffer::paper_sized();
+        b.fill(7, vec![]);
+        assert_eq!(b.counters().0, 0);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut b = BtbPrefetchBuffer::new(4, 2); // 2 sets
+        // Blocks 0, 2, 4 all map to set 0.
+        b.fill(0, vec![entry(0, 1)]);
+        b.fill(2, vec![entry(2 * 64, 1)]);
+        // Touch block 0's entry via refill to make block 2 LRU.
+        b.fill(0, vec![entry(0, 9)]);
+        b.fill(4, vec![entry(4 * 64, 1)]);
+        assert!(b.contains_branch(0));
+        assert!(!b.contains_branch(2 * 64));
+        assert!(b.contains_branch(4 * 64));
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut b = BtbPrefetchBuffer::paper_sized();
+        b.fill(5, vec![entry(5 * 64, 1)]);
+        b.fill(5, vec![entry(5 * 64, 2), entry(5 * 64 + 8, 3)]);
+        let taken = b.take_for(5 * 64).unwrap();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].target, 2);
+    }
+
+    #[test]
+    fn storage_about_1kb() {
+        let b = BtbPrefetchBuffer::paper_sized();
+        let kb = b.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((0.8..1.3).contains(&kb), "storage {kb} KB");
+    }
+}

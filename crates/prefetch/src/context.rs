@@ -1,0 +1,286 @@
+//! The prefetcher ↔ machine interface.
+//!
+//! Prefetchers never touch the cache, BTB, or memory hierarchy
+//! directly; they act through a [`PrefetchContext`] the simulator
+//! provides on each call. This keeps every prefetcher a pure state
+//! machine over events — easy to unit-test against [`MockContext`].
+
+use dcfb_frontend::BtbEntry;
+use dcfb_trace::{Addr, Block, Instr};
+
+/// The machine surface a prefetcher may use.
+pub trait PrefetchContext {
+    /// Current simulation cycle.
+    fn cycle(&self) -> u64;
+
+    /// Probes the L1i (and MSHRs) for `block`. Counts one cache lookup
+    /// — the quantity Fig. 14 reports. Returns `true` if the block is
+    /// resident or already in flight.
+    fn l1i_lookup(&mut self, block: Block) -> bool;
+
+    /// Issues a prefetch for `block` into the memory hierarchy.
+    /// `extra_delay` models a longer issue path (the Dis prefetcher's
+    /// DisTable-lookup + pre-decode pipeline, §VII-D).
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64);
+
+    /// Pre-decodes `block`, returning every branch found. In hardware
+    /// this requires the block's bytes (resident or just arrived); the
+    /// simulator enforces availability.
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry>;
+
+    /// Pre-decodes only the instruction at `byte_offset` of `block`
+    /// (the Dis replay path). Returns `None` if it is not a branch.
+    fn decode_branch_at(&mut self, block: Block, byte_offset: u32) -> Option<BtbEntry>;
+
+    /// Consults the core BTB for the target of the branch at `pc`
+    /// (used when the target is not in the instruction encoding).
+    /// Does not disturb BTB statistics.
+    fn btb_target(&mut self, pc: Addr) -> Option<Addr>;
+
+    /// Deposits pre-decoded branches into the BTB prefetch buffer.
+    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]);
+}
+
+/// The last two demanded instructions, which the Dis prefetcher decodes
+/// on every cache miss (the paper keeps two because of the SPARC branch
+/// delay slot, §V-B).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecentInstrs {
+    /// The most recently demanded instruction.
+    pub last: Option<Instr>,
+    /// The instruction before it.
+    pub prev: Option<Instr>,
+}
+
+impl RecentInstrs {
+    /// Shifts in a newly demanded instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.prev = self.last;
+        self.last = Some(i);
+    }
+
+    /// The most recent *branch* among the tracked instructions.
+    pub fn last_branch(&self) -> Option<Instr> {
+        [self.last, self.prev]
+            .into_iter()
+            .flatten()
+            .find(|i| i.kind.is_branch())
+    }
+}
+
+/// An L1i-event-driven instruction prefetcher.
+///
+/// All hooks default to no-ops so each prefetcher implements only what
+/// it observes.
+pub trait InstrPrefetcher {
+    /// Display name (used by the experiment harness).
+    fn name(&self) -> String;
+
+    /// Total metadata storage in bits (Table II accounting).
+    fn storage_bits(&self) -> u64;
+
+    /// A demand access to `block` resolved as `hit`;
+    /// `hit_was_prefetched` is set when the hit line still carried its
+    /// prefetch flag. `recent` holds the last two demanded instructions.
+    fn on_demand(
+        &mut self,
+        ctx: &mut dyn PrefetchContext,
+        block: Block,
+        hit: bool,
+        hit_was_prefetched: bool,
+        recent: &RecentInstrs,
+    ) {
+        let _ = (ctx, block, hit, hit_was_prefetched, recent);
+    }
+
+    /// `block` arrived in the L1i (`was_prefetch` distinguishes
+    /// prefetch fills from demand fills).
+    fn on_fill(&mut self, ctx: &mut dyn PrefetchContext, block: Block, was_prefetch: bool) {
+        let _ = (ctx, block, was_prefetch);
+    }
+
+    /// `block` left the L1i; `useless_prefetch` is set when it was
+    /// prefetched and never demanded.
+    fn on_evict(&mut self, ctx: &mut dyn PrefetchContext, block: Block, useless_prefetch: bool) {
+        let _ = (ctx, block, useless_prefetch);
+    }
+
+    /// Called once per cycle so queue-driven engines can pump their
+    /// internal pipelines.
+    fn tick(&mut self, ctx: &mut dyn PrefetchContext) {
+        let _ = ctx;
+    }
+}
+
+/// The machine surface a *BTB-directed* engine (Boomerang, Shotgun)
+/// uses to run ahead of fetch: branch prediction, RAS, cache probes,
+/// prefetch issue, and pre-decoding for reactive BTB fills.
+pub trait RunaheadContext {
+    /// Current simulation cycle.
+    fn cycle(&self) -> u64;
+
+    /// Predicts the direction of the conditional branch at `pc` (TAGE).
+    fn predict_cond(&mut self, pc: Addr) -> bool;
+
+    /// Pushes a predicted return address (speculative RAS).
+    fn ras_push(&mut self, ret: Addr);
+
+    /// Pops the predicted return target.
+    fn ras_pop(&mut self) -> Option<Addr>;
+
+    /// Probes the L1i/MSHRs for `block` (counts a cache lookup).
+    fn l1i_lookup(&mut self, block: Block) -> bool;
+
+    /// Issues a prefetch for `block`.
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64);
+
+    /// Whether `block`'s contents are available for pre-decoding
+    /// (resident in the L1i — in-flight blocks are not yet decodable).
+    fn block_present(&self, block: Block) -> bool;
+
+    /// Pre-decodes `block`, returning its branches.
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry>;
+}
+
+/// A scriptable context for unit tests.
+#[derive(Default)]
+pub struct MockContext {
+    /// Current cycle returned by [`PrefetchContext::cycle`].
+    pub now: u64,
+    /// Blocks that count as resident/in-flight.
+    pub resident: std::collections::HashSet<Block>,
+    /// Prefetches issued: `(block, extra_delay)` in order.
+    pub issued: Vec<(Block, u64)>,
+    /// Lookups performed, in order.
+    pub lookups: Vec<Block>,
+    /// Pre-decode results by block.
+    pub code: std::collections::HashMap<Block, Vec<BtbEntry>>,
+    /// BTB contents for `btb_target`.
+    pub btb: std::collections::HashMap<Addr, Addr>,
+    /// Branches deposited into the BTB prefetch buffer.
+    pub btb_buffer_fills: Vec<(Block, Vec<BtbEntry>)>,
+    /// Direction returned by `predict_cond` for pcs in this set
+    /// (everything else predicts not-taken).
+    pub taken_pcs: std::collections::HashSet<Addr>,
+    /// Speculative RAS used by `ras_push` / `ras_pop`.
+    pub ras: Vec<Addr>,
+}
+
+impl RunaheadContext for MockContext {
+    fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    fn predict_cond(&mut self, pc: Addr) -> bool {
+        self.taken_pcs.contains(&pc)
+    }
+
+    fn ras_push(&mut self, ret: Addr) {
+        self.ras.push(ret);
+    }
+
+    fn ras_pop(&mut self) -> Option<Addr> {
+        self.ras.pop()
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        self.lookups.push(block);
+        self.resident.contains(&block)
+    }
+
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+        self.issued.push((block, extra_delay));
+        self.resident.insert(block);
+    }
+
+    fn block_present(&self, block: Block) -> bool {
+        self.resident.contains(&block)
+    }
+
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+        self.code.get(&block).cloned().unwrap_or_default()
+    }
+}
+
+impl PrefetchContext for MockContext {
+    fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        self.lookups.push(block);
+        self.resident.contains(&block)
+    }
+
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+        self.issued.push((block, extra_delay));
+        self.resident.insert(block); // arrives eventually; tests treat as in-flight
+    }
+
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+        self.code.get(&block).cloned().unwrap_or_default()
+    }
+
+    fn decode_branch_at(&mut self, block: Block, byte_offset: u32) -> Option<BtbEntry> {
+        self.code
+            .get(&block)?
+            .iter()
+            .find(|e| dcfb_trace::block_offset(e.pc) == byte_offset)
+            .copied()
+    }
+
+    fn btb_target(&mut self, pc: Addr) -> Option<Addr> {
+        self.btb.get(&pc).copied()
+    }
+
+    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]) {
+        self.btb_buffer_fills.push((block, branches.to_vec()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfb_trace::InstrKind;
+
+    #[test]
+    fn recent_instrs_shift() {
+        let mut r = RecentInstrs::default();
+        assert!(r.last_branch().is_none());
+        r.push(Instr::other(0x100, 4));
+        r.push(Instr::branch(0x104, 4, InstrKind::Jump, 0x200));
+        assert_eq!(r.last.unwrap().pc, 0x104);
+        assert_eq!(r.prev.unwrap().pc, 0x100);
+        assert_eq!(r.last_branch().unwrap().pc, 0x104);
+        // Delay-slot shape: branch then a non-branch in the slot.
+        r.push(Instr::other(0x200, 4));
+        assert_eq!(r.last_branch().unwrap().pc, 0x104);
+    }
+
+    #[test]
+    fn mock_context_records_activity() {
+        let mut m = MockContext::default();
+        m.resident.insert(5);
+        let ctx: &mut dyn PrefetchContext = &mut m;
+        assert!(ctx.l1i_lookup(5));
+        assert!(!ctx.l1i_lookup(6));
+        ctx.issue_prefetch(6, 0);
+        assert_eq!(m.issued, vec![(6, 0)]);
+        assert_eq!(m.lookups, vec![5, 6]);
+    }
+
+    #[test]
+    fn mock_runahead_surface_works() {
+        let mut m = MockContext::default();
+        m.taken_pcs.insert(0x40);
+        let ctx: &mut dyn RunaheadContext = &mut m;
+        assert!(ctx.predict_cond(0x40));
+        assert!(!ctx.predict_cond(0x44));
+        ctx.ras_push(0x100);
+        assert_eq!(ctx.ras_pop(), Some(0x100));
+        assert_eq!(ctx.ras_pop(), None);
+        assert!(!ctx.block_present(3));
+        ctx.issue_prefetch(3, 0);
+        assert!(ctx.block_present(3));
+    }
+}

@@ -1,0 +1,304 @@
+//! Timing-free trace analyses behind the paper's motivation figures.
+//!
+//! These passes replay a trace against a functional L1i model and
+//! measure structural properties of the workload:
+//!
+//! * [`sequential_miss_fraction`] — Fig. 2 (65–80 % of L1i misses are
+//!   sequential),
+//! * [`pattern_predictability`] — Fig. 6 (the 4-subsequent-block access
+//!   pattern repeats with ≈ 92 % accuracy),
+//! * [`discontinuity_stability`] — Fig. 7 (≈ 80 % of per-block
+//!   discontinuities are caused by the same branch as last time),
+//! * [`branch_footprint_coverage`] — Fig. 8 (uncovered branches vs.
+//!   branches stored per BF),
+//! * [`bf_per_set_coverage`] — Fig. 9 (uncovered BFs vs. BF slots per
+//!   LLC set).
+
+use dcfb_cache::{CacheConfig, LineFlags, SetAssocCache};
+use dcfb_trace::{block_of, Block, Instr, InstrStream};
+use dcfb_workloads::ProgramImage;
+use std::collections::HashMap;
+
+/// Replays `stream` (up to `limit` instructions) against a functional
+/// L1i and returns `(sequential_misses, discontinuity_misses)`.
+///
+/// A miss is *sequential* when its block is spatially right after the
+/// last accessed block (§IV).
+pub fn sequential_miss_fraction<S: InstrStream>(
+    stream: &mut S,
+    l1i: CacheConfig,
+    limit: u64,
+) -> (u64, u64) {
+    let mut cache = SetAssocCache::new(l1i);
+    let mut prev: Option<Block> = None;
+    let mut seq = 0;
+    let mut disc = 0;
+    let mut n = 0;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        n += 1;
+        let block = i.block();
+        if prev == Some(block) {
+            continue;
+        }
+        if !cache.demand_access(block) {
+            if prev == Some(block.wrapping_sub(1)) {
+                seq += 1;
+            } else {
+                disc += 1;
+            }
+            cache.fill(block, LineFlags::demand_instruction());
+        }
+        prev = Some(block);
+    }
+    (seq, disc)
+}
+
+/// Fig. 6: for each block, from insertion to eviction, record which of
+/// the four subsequent blocks are accessed; compare each generation's
+/// pattern with the previous one. Returns the fraction of pattern bits
+/// that repeat.
+pub fn pattern_predictability<S: InstrStream>(
+    stream: &mut S,
+    l1i: CacheConfig,
+    limit: u64,
+) -> f64 {
+    let mut cache = SetAssocCache::new(l1i);
+    // Live pattern per resident block, last completed pattern per block.
+    let mut live: HashMap<Block, u8> = HashMap::new();
+    let mut last: HashMap<Block, u8> = HashMap::new();
+    let mut matches = 0u64;
+    let mut total = 0u64;
+    let mut prev: Option<Block> = None;
+    let mut n = 0;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        n += 1;
+        let block = i.block();
+        if prev == Some(block) {
+            continue;
+        }
+        prev = Some(block);
+        // Mark this block in the live pattern of its four predecessors.
+        for d in 1..=4u64 {
+            let anchor = block.wrapping_sub(d);
+            if let Some(p) = live.get_mut(&anchor) {
+                *p |= 1 << (d - 1);
+            }
+        }
+        if !cache.demand_access(block) {
+            if let Some(ev) = cache.fill(block, LineFlags::demand_instruction()) {
+                if let Some(pattern) = live.remove(&ev.block) {
+                    if let Some(prior) = last.insert(ev.block, pattern) {
+                        total += 4;
+                        let differing = ((pattern ^ prior) & 0xF).count_ones();
+                        matches += u64::from(4 - differing);
+                    }
+                }
+            }
+            live.insert(block, 0);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        matches as f64 / total as f64
+    }
+}
+
+/// Fig. 7: for each block, compare the branch (by pc) that caused
+/// consecutive discontinuities out of that block. Returns the fraction
+/// of discontinuities caused by the same branch as the previous one
+/// from the same block.
+pub fn discontinuity_stability<S: InstrStream>(stream: &mut S, limit: u64) -> f64 {
+    let mut last_branch_from: HashMap<Block, u64> = HashMap::new();
+    let mut same = 0u64;
+    let mut total = 0u64;
+    let mut prev_instr: Option<Instr> = None;
+    let mut n = 0;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        n += 1;
+        if let Some(p) = prev_instr {
+            if p.redirects() && block_of(p.pc) != i.block() {
+                // A discontinuity out of p's block into i's block.
+                let from = block_of(p.pc);
+                if let Some(prev_pc) = last_branch_from.insert(from, p.pc) {
+                    total += 1;
+                    same += u64::from(prev_pc == p.pc);
+                }
+            }
+        }
+        prev_instr = Some(i);
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Fig. 8: the fraction of *static* branches left uncovered when each
+/// block's branch footprint stores only `per_bf` offsets. Returns the
+/// uncovered fraction in `[0, 1]`.
+pub fn branch_footprint_coverage(image: &ProgramImage, per_bf: usize) -> f64 {
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut block = block_of(dcfb_workloads::image::IMAGE_BASE);
+    let end_block = block_of(image.end());
+    while block <= end_block {
+        let branches = image
+            .block_slice(block)
+            .iter()
+            .filter(|i| i.kind.is_branch())
+            .count();
+        total += branches;
+        covered += branches.min(per_bf);
+        block += 1;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        1.0 - covered as f64 / total as f64
+    }
+}
+
+/// Fig. 9: replays the instruction-block stream into an LLC-shaped set
+/// mapping and measures the fraction of *distinct instruction blocks
+/// per set* beyond `bf_slots` — i.e. footprints that would not fit in
+/// the BF-holder. Returns the uncovered fraction in `[0, 1]`.
+pub fn bf_per_set_coverage<S: InstrStream>(
+    stream: &mut S,
+    llc_sets: usize,
+    bf_slots: usize,
+    limit: u64,
+) -> f64 {
+    assert!(llc_sets.is_power_of_two(), "LLC sets must be a power of two");
+    // LRU-ish per-set tracking of instruction blocks with a bounded
+    // window per set (models which BFs compete for slots).
+    let mut sets: HashMap<usize, Vec<Block>> = HashMap::new();
+    let mut covered = 0u64;
+    let mut total = 0u64;
+    let mut prev: Option<Block> = None;
+    let mut n = 0;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        n += 1;
+        let block = i.block();
+        if prev == Some(block) {
+            continue;
+        }
+        prev = Some(block);
+        let set = (block as usize) & (llc_sets - 1);
+        let v = sets.entry(set).or_default();
+        total += 1;
+        if let Some(pos) = v.iter().position(|&b| b == block) {
+            // MRU update.
+            let b = v.remove(pos);
+            v.insert(0, b);
+            covered += 1;
+        } else {
+            v.insert(0, block);
+            // A BF lookup succeeds if the block ranks within the
+            // BF-holder's capacity; new blocks always displace LRU.
+            if v.len() <= bf_slots {
+                covered += 1;
+            }
+            if v.len() > 16 {
+                v.pop();
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        1.0 - covered as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfb_trace::IsaMode;
+    use dcfb_workloads::{WorkloadParams, Walker};
+    use std::sync::Arc;
+
+    fn image() -> Arc<ProgramImage> {
+        let params = WorkloadParams {
+            functions: 80,
+            root_functions: 8,
+            ..WorkloadParams::default()
+        };
+        Arc::new(ProgramImage::build(&params, 21, IsaMode::Fixed4))
+    }
+
+    #[test]
+    fn sequential_misses_dominate() {
+        let mut w = Walker::new(image(), 1);
+        let (seq, disc) = sequential_miss_fraction(&mut w, CacheConfig::l1i(), 600_000);
+        assert!(seq + disc > 100, "too few misses: {seq}+{disc}");
+        let frac = seq as f64 / (seq + disc) as f64;
+        // The paper's Fig. 2 band is 65-80 %; allow generous slack for
+        // the small test image.
+        assert!((0.4..0.95).contains(&frac), "seq fraction {frac}");
+    }
+
+    #[test]
+    fn patterns_are_predictable() {
+        let mut w = Walker::new(image(), 2);
+        // Small cache so the test image generates enough evictions to
+        // complete pattern generations.
+        let small = CacheConfig::from_kib(8, 8);
+        let p = pattern_predictability(&mut w, small, 1_000_000);
+        assert!(p > 0.6, "pattern predictability {p}");
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn discontinuities_are_stable() {
+        let mut w = Walker::new(image(), 3);
+        let s = discontinuity_stability(&mut w, 600_000);
+        assert!(s > 0.5, "stability {s}");
+        assert!(s <= 1.0);
+    }
+
+    #[test]
+    fn four_branches_cover_almost_all() {
+        let img = image();
+        let none = branch_footprint_coverage(&img, 0);
+        let one = branch_footprint_coverage(&img, 1);
+        let four = branch_footprint_coverage(&img, 4);
+        let sixteen = branch_footprint_coverage(&img, 16);
+        assert!(none > one && one > four, "{none} {one} {four}");
+        assert!(four < 0.10, "4-branch BF leaves {four} uncovered");
+        assert!(sixteen < 1e-9);
+    }
+
+    #[test]
+    fn bf_slots_sweep_is_monotonic() {
+        let img = image();
+        let mut last = 1.0;
+        for slots in [1usize, 2, 3, 4] {
+            let mut w = Walker::new(Arc::clone(&img), 4);
+            let uncovered = bf_per_set_coverage(&mut w, 2048, slots, 400_000);
+            assert!(uncovered <= last + 1e-9, "slots {slots}: {uncovered} > {last}");
+            last = uncovered;
+        }
+        assert!(last < 0.2, "4 BF slots leave {last} uncovered");
+    }
+
+    #[test]
+    fn empty_stream_edge_cases() {
+        let mut empty = dcfb_trace::VecTrace::default();
+        assert_eq!(
+            sequential_miss_fraction(&mut empty, CacheConfig::l1i(), 100),
+            (0, 0)
+        );
+        let mut empty = dcfb_trace::VecTrace::default();
+        assert_eq!(pattern_predictability(&mut empty, CacheConfig::l1i(), 10), 0.0);
+        let mut empty = dcfb_trace::VecTrace::default();
+        assert_eq!(discontinuity_stability(&mut empty, 10), 0.0);
+        let mut empty = dcfb_trace::VecTrace::default();
+        assert_eq!(bf_per_set_coverage(&mut empty, 64, 2, 10), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Simulation configuration (Table III defaults).
+
+use dcfb_cache::CacheConfig;
+use dcfb_frontend::{BtbConfig, ShotgunBtbConfig};
+use dcfb_prefetch::{ConfluenceConfig, Sn4lDisConfig, TagPolicy};
+use dcfb_trace::IsaMode;
+use dcfb_uncore::UncoreConfig;
+
+/// Which prefetcher drives the frontend.
+#[derive(Clone, Debug)]
+pub enum PrefetcherKind {
+    /// No instruction/BTB prefetcher (the speedup baseline).
+    None,
+    /// Next-X-line sequential prefetcher.
+    NextLine(u32),
+    /// SN4L alone (Fig. 17's second bar).
+    Sn4l {
+        /// SeqTable entries (16 K in the paper; swept in Fig. 11).
+        seq_entries: usize,
+    },
+    /// The standalone Dis prefetcher (Fig. 13).
+    Dis {
+        /// DisTable entries.
+        dis_entries: usize,
+        /// DisTable tagging policy.
+        tag: TagPolicy,
+    },
+    /// The combined proactive engine; `btb` selects SN4L+Dis vs
+    /// SN4L+Dis+BTB.
+    Sn4lDis(Sn4lDisConfig),
+    /// The conventional discontinuity prefetcher baseline.
+    Discontinuity,
+    /// Confluence = SHIFT + a 16 K-entry BTB (set `btb` accordingly!).
+    Confluence(ConfluenceConfig),
+    /// Boomerang (BTB-directed driver).
+    Boomerang {
+        /// BB-BTB entries.
+        btb_entries: usize,
+    },
+    /// Shotgun (BTB-directed driver with the split BTB).
+    Shotgun(ShotgunBtbConfig),
+}
+
+impl PrefetcherKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            PrefetcherKind::None => "Baseline".to_owned(),
+            PrefetcherKind::NextLine(1) => "NL".to_owned(),
+            PrefetcherKind::NextLine(d) => format!("N{d}L"),
+            PrefetcherKind::Sn4l { .. } => "SN4L".to_owned(),
+            PrefetcherKind::Dis { .. } => "Dis".to_owned(),
+            PrefetcherKind::Sn4lDis(c) if c.btb_prefetch => "SN4L+Dis+BTB".to_owned(),
+            PrefetcherKind::Sn4lDis(_) => "SN4L+Dis".to_owned(),
+            PrefetcherKind::Discontinuity => "Discontinuity".to_owned(),
+            PrefetcherKind::Confluence(_) => "Confluence".to_owned(),
+            PrefetcherKind::Boomerang { .. } => "Boomerang".to_owned(),
+            PrefetcherKind::Shotgun(_) => "Shotgun".to_owned(),
+        }
+    }
+
+    /// Whether this prefetcher drives the FTQ (BTB-directed frontend).
+    pub fn is_btb_directed(&self) -> bool {
+        matches!(
+            self,
+            PrefetcherKind::Boomerang { .. } | PrefetcherKind::Shotgun(_)
+        )
+    }
+}
+
+/// Full machine + experiment configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Frontend width (3-wide dispatch, Table III).
+    pub fetch_width: u32,
+    /// L1i geometry (32 KB, 8-way).
+    pub l1i: CacheConfig,
+    /// MSHR entries (32).
+    pub mshrs: usize,
+    /// Conventional BTB (2 K entries baseline; 16 K for Confluence;
+    /// swept in Fig. 18).
+    pub btb: BtbConfig,
+    /// Frontend bubble on a BTB miss for a taken branch (≥ 6 cycles,
+    /// §VI-A).
+    pub btb_miss_penalty: u64,
+    /// Redirect penalty on a direction/target misprediction.
+    pub mispredict_penalty: u64,
+    /// Wrong-path blocks fetched past a misprediction (bandwidth
+    /// pollution).
+    pub wrong_path_blocks: u32,
+    /// FTQ capacity for the BTB-directed driver (32).
+    pub ftq_entries: usize,
+    /// Hold prefetches in a 64-entry buffer next to the L1i instead of
+    /// filling the cache directly (the Fig. 5 NXL methodology).
+    pub use_prefetch_buffer: bool,
+    /// Prefetch-buffer capacity when enabled.
+    pub prefetch_buffer_entries: usize,
+    /// All demand accesses hit in the L1i (Fig. 17 "Perfect L1i").
+    pub perfect_l1i: bool,
+    /// No BTB-miss penalties (Fig. 17 "+ BTB∞").
+    pub perfect_btb: bool,
+    /// The memory system below the L1i.
+    pub uncore: UncoreConfig,
+    /// Instruction encoding mode.
+    pub isa: IsaMode,
+    /// The prefetcher under test.
+    pub prefetcher: PrefetcherKind,
+    /// Instructions to run before statistics are reset (cache/BTB/
+    /// predictor warmup).
+    pub warmup_instrs: u64,
+    /// Instructions measured after warmup.
+    pub measure_instrs: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 3,
+            l1i: CacheConfig::l1i(),
+            mshrs: 32,
+            btb: BtbConfig::baseline_2k(),
+            btb_miss_penalty: 9,
+            mispredict_penalty: 9,
+            wrong_path_blocks: 2,
+            ftq_entries: 32,
+            use_prefetch_buffer: false,
+            prefetch_buffer_entries: 64,
+            perfect_l1i: false,
+            perfect_btb: false,
+            uncore: UncoreConfig::default(),
+            isa: IsaMode::Fixed4,
+            prefetcher: PrefetcherKind::None,
+            warmup_instrs: 2_000_000,
+            measure_instrs: 3_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Baseline with no prefetcher.
+    pub fn baseline() -> Self {
+        SimConfig::default()
+    }
+
+    /// A named standard configuration for each evaluated method
+    /// (§VI-D): `"NL"`, `"N2L"`, `"N4L"`, `"N8L"`, `"SN4L"`, `"Dis"`,
+    /// `"SN4L+Dis"`, `"SN4L+Dis+BTB"`, `"Discontinuity"`,
+    /// `"Confluence"`, `"Boomerang"`, `"Shotgun"`, `"Baseline"`.
+    ///
+    /// Returns `None` for unknown names.
+    pub fn for_method(name: &str) -> Option<Self> {
+        let mut cfg = SimConfig::default();
+        cfg.prefetcher = match name {
+            "Baseline" => PrefetcherKind::None,
+            "NL" => PrefetcherKind::NextLine(1),
+            "N2L" => PrefetcherKind::NextLine(2),
+            "N4L" => PrefetcherKind::NextLine(4),
+            "N8L" => PrefetcherKind::NextLine(8),
+            "SN4L" => PrefetcherKind::Sn4l {
+                seq_entries: 16 * 1024,
+            },
+            "Dis" => PrefetcherKind::Dis {
+                dis_entries: 4 * 1024,
+                tag: TagPolicy::Partial(4),
+            },
+            "SN4L+Dis" => PrefetcherKind::Sn4lDis(Sn4lDisConfig::without_btb()),
+            "SN4L+Dis+BTB" => PrefetcherKind::Sn4lDis(Sn4lDisConfig::default()),
+            "Discontinuity" => PrefetcherKind::Discontinuity,
+            "Confluence" => {
+                cfg.btb = BtbConfig::confluence_16k();
+                PrefetcherKind::Confluence(ConfluenceConfig::default())
+            }
+            "Boomerang" => PrefetcherKind::Boomerang { btb_entries: 2048 },
+            "Shotgun" => PrefetcherKind::Shotgun(ShotgunBtbConfig::default()),
+            _ => return None,
+        };
+        Some(cfg)
+    }
+
+    /// The list of methods Fig. 16 compares.
+    pub fn fig16_methods() -> [&'static str; 4] {
+        ["Shotgun", "Confluence", "SN4L+Dis+BTB", "Baseline"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iii() {
+        let c = SimConfig::default();
+        assert_eq!(c.fetch_width, 3);
+        assert_eq!(c.l1i.size_kib(), 32);
+        assert_eq!(c.mshrs, 32);
+        assert_eq!(c.btb.entries, 2048);
+        assert!(c.btb_miss_penalty >= 6);
+        assert_eq!(c.mispredict_penalty, 9);
+    }
+
+    #[test]
+    fn method_names_resolve() {
+        for m in [
+            "Baseline",
+            "NL",
+            "N2L",
+            "N4L",
+            "N8L",
+            "SN4L",
+            "Dis",
+            "SN4L+Dis",
+            "SN4L+Dis+BTB",
+            "Discontinuity",
+            "Confluence",
+            "Boomerang",
+            "Shotgun",
+        ] {
+            let cfg = SimConfig::for_method(m).unwrap_or_else(|| panic!("{m} missing"));
+            assert_eq!(cfg.prefetcher.name(), m, "name mismatch for {m}");
+        }
+        assert!(SimConfig::for_method("bogus").is_none());
+    }
+
+    #[test]
+    fn confluence_gets_the_16k_btb() {
+        let cfg = SimConfig::for_method("Confluence").unwrap();
+        assert_eq!(cfg.btb.entries, 16 * 1024);
+    }
+
+    #[test]
+    fn btb_directed_classification() {
+        assert!(SimConfig::for_method("Shotgun")
+            .unwrap()
+            .prefetcher
+            .is_btb_directed());
+        assert!(SimConfig::for_method("Boomerang")
+            .unwrap()
+            .prefetcher
+            .is_btb_directed());
+        assert!(!SimConfig::for_method("SN4L+Dis+BTB")
+            .unwrap()
+            .prefetcher
+            .is_btb_directed());
+    }
+}

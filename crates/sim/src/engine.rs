@@ -1,0 +1,1309 @@
+//! The cycle-approximate frontend timing engine.
+//!
+//! Two drivers share one [`Machine`]:
+//!
+//! * the **conventional decoupled frontend** (baseline, NL/NXL, SN4L,
+//!   Dis, SN4L+Dis(+BTB), conventional discontinuity, Confluence):
+//!   fetch follows the trace; taken branches need a BTB hit to redirect
+//!   without a bubble; direction comes from TAGE and return targets
+//!   from the RAS; prefetchers observe L1i events and pump their queues
+//!   once per cycle;
+//! * the **BTB-directed frontend** (Boomerang, Shotgun): the discovery
+//!   engine runs ahead of fetch filling the FTQ, fetch consumes FTQ
+//!   regions and verifies them against the trace, and FTQ starvation
+//!   surfaces as the empty-FTQ stalls of Table I.
+//!
+//! Timing simplifications (documented in DESIGN.md): the backend is
+//! ideal beyond its 3-wide width; L1i hit latency is fully pipelined;
+//! stall periods are advanced in bulk with the prefetcher ticked up to
+//! 16 times per stall; wrong-path execution is modeled as redirect
+//! penalties plus bounded wrong-path block fetches that consume
+//! bandwidth without polluting the L1i.
+
+use crate::config::{PrefetcherKind, SimConfig};
+use crate::metrics::SimReport;
+use dcfb_cache::{LineFlags, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
+use dcfb_frontend::{
+    BranchClass, Btb, BtbEntry, Ftq, Predecoder, ReturnAddressStack, Tage, TageConfig,
+};
+use dcfb_prefetch::{
+    Boomerang, BtbPrefetchBuffer, Confluence, Dis, DiscontinuityPrefetcher, DisTable,
+    InstrPrefetcher, NextLine, PrefetchContext, RecentInstrs, RunaheadContext, SeqTable, Shotgun,
+    Sn4l, Sn4lDisBtb,
+};
+use dcfb_trace::{block_of, Addr, Block, CodeMemory, Instr, InstrKind, InstrStream};
+use dcfb_uncore::Uncore;
+use dcfb_workloads::ProgramImage;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters accumulated while running (reset after warmup).
+#[derive(Clone, Debug, Default)]
+struct RawStats {
+    cycles: u64,
+    instrs: u64,
+    seq_misses: u64,
+    disc_misses: u64,
+    stall_l1i: u64,
+    stall_btb: u64,
+    stall_redirect: u64,
+    stall_empty_ftq: u64,
+    cmal_covered: f64,
+    cmal_total: f64,
+    late_prefetches: u64,
+    uncovered_misses: u64,
+    dropped_prefetches: u64,
+    /// Demand misses absorbed by the prefetch buffer (re-credited as
+    /// hits in the report).
+    buffer_hits: u64,
+}
+
+/// The machine state shared by both frontend drivers. Implements the
+/// prefetcher-facing context traits.
+struct Machine {
+    cycle: u64,
+    l1i: SetAssocCache,
+    pf_buffer: Option<PrefetchBuffer>,
+    mshr: MshrFile,
+    uncore: Uncore,
+    btb: Btb,
+    btb_buffer: BtbPrefetchBuffer,
+    tage: Tage,
+    ras: ReturnAddressStack,
+    predecoder: Predecoder,
+    code: Arc<dyn CodeMemory + Send + Sync>,
+    workload_name: String,
+    recent: RecentInstrs,
+    prev_demand_block: Option<Block>,
+    /// Latency of completed prefetches still resident (CMAL accounting).
+    prefetch_latency: HashMap<Block, u64>,
+    perfect_l1i: bool,
+    stats: RawStats,
+    tage_predictions: u64,
+    tage_correct: u64,
+}
+
+impl Machine {
+    fn new(
+        cfg: &SimConfig,
+        code: Arc<dyn CodeMemory + Send + Sync>,
+        workload_name: String,
+    ) -> Self {
+        Machine {
+            cycle: 0,
+            l1i: SetAssocCache::new(cfg.l1i),
+            pf_buffer: cfg
+                .use_prefetch_buffer
+                .then(|| PrefetchBuffer::new(cfg.prefetch_buffer_entries)),
+            mshr: MshrFile::new(cfg.mshrs),
+            uncore: Uncore::new(cfg.uncore.clone()),
+            btb: Btb::new(cfg.btb),
+            btb_buffer: BtbPrefetchBuffer::paper_sized(),
+            tage: Tage::new(TageConfig::default()),
+            ras: ReturnAddressStack::new(32),
+            predecoder: Predecoder::new(cfg.isa),
+            code,
+            workload_name,
+            recent: RecentInstrs::default(),
+            prev_demand_block: None,
+            prefetch_latency: HashMap::new(),
+            perfect_l1i: cfg.perfect_l1i,
+            stats: RawStats::default(),
+            tage_predictions: 0,
+            tage_correct: 0,
+        }
+    }
+
+    /// Pre-decodes `block`, supplying a branch footprint from the
+    /// DV-LLC in variable-length mode.
+    fn predecode_block(&mut self, block: Block) -> Vec<BtbEntry> {
+        let code = Arc::clone(&self.code);
+        if self.predecoder.isa().self_describing_boundaries() {
+            self.predecoder.decode(&code, block, None).branches
+        } else {
+            let bf = self.uncore.dvllc_mut().and_then(|dv| dv.bf_lookup(block));
+            self.predecoder.decode(&code, block, bf.as_ref()).branches
+        }
+    }
+
+    /// Sends a fetch/prefetch below the L1i, allocating an MSHR.
+    /// Returns the completion cycle, or `None` if the MSHRs are full.
+    fn request_below(&mut self, block: Block, is_prefetch: bool, extra: u64) -> Option<u64> {
+        if self.mshr.is_full() {
+            self.stats.dropped_prefetches += u64::from(is_prefetch);
+            return None;
+        }
+        let res = self.uncore.access(self.cycle, block, is_prefetch, true);
+        let ready = res.ready_at + extra;
+        match self.mshr.allocate(block, self.cycle, ready, is_prefetch) {
+            MshrOutcome::Allocated => Some(ready),
+            MshrOutcome::Merged { ready_at, .. } => Some(ready_at),
+            MshrOutcome::Full => None,
+        }
+    }
+
+    /// Drains completed fetches into the L1i (or prefetch buffer),
+    /// firing fill/evict hooks on `pf`.
+    fn drain_fills(&mut self, mut pf: Option<&mut (dyn InstrPrefetcher + 'static)>) {
+        let done = self.mshr.drain_ready(self.cycle);
+        for c in done {
+            let into_buffer =
+                c.is_prefetch && !c.demand_waiting && self.pf_buffer.is_some();
+            if into_buffer {
+                self.pf_buffer
+                    .as_mut()
+                    .expect("buffer checked")
+                    .insert(c.block);
+            } else {
+                let flags = if c.is_prefetch && !c.demand_waiting {
+                    LineFlags::prefetched_instruction()
+                } else {
+                    LineFlags::demand_instruction()
+                };
+                if c.is_prefetch {
+                    self.prefetch_latency
+                        .insert(c.block, c.ready_at - c.issued_at);
+                }
+                let evicted = self.l1i.fill(c.block, flags);
+                if let Some(ev) = evicted {
+                    self.prefetch_latency.remove(&ev.block);
+                    if let Some(p) = pf.as_deref_mut() {
+                        p.on_evict(self, ev.block, ev.flags.prefetched && !ev.flags.demanded);
+                    }
+                }
+                // In variable-length mode, deposit the block's branch
+                // footprint alongside it in the DV-LLC (§V-D).
+                if !self.predecoder.isa().self_describing_boundaries() {
+                    let instrs = self.code.instrs_in_block(c.block);
+                    let (bf, _) = dcfb_cache::BranchFootprint::from_block(&instrs);
+                    if let Some(dv) = self.uncore.dvllc_mut() {
+                        dv.insert_bf(c.block, bf);
+                    }
+                }
+            }
+            if let Some(p) = pf.as_deref_mut() {
+                p.on_fill(self, c.block, c.is_prefetch && !c.demand_waiting);
+            }
+        }
+    }
+
+    /// Outcome of a demand access.
+    fn demand(&mut self, block: Block) -> DemandOutcome {
+        if self.perfect_l1i {
+            // Every access hits: install the block before looking up.
+            if !self.l1i.contains(block) {
+                self.l1i.fill(block, LineFlags::demand_instruction());
+            }
+            self.l1i.demand_access(block);
+            return DemandOutcome::Hit {
+                was_prefetched: false,
+            };
+        }
+        self.stats_note_demand(block);
+        if self.l1i.demand_access(block) {
+            let was_pref = self.prefetch_latency.remove(&block).map(|lat| {
+                self.stats.cmal_covered += lat as f64;
+                self.stats.cmal_total += lat as f64;
+            });
+            return DemandOutcome::Hit {
+                was_prefetched: was_pref.is_some(),
+            };
+        }
+        // Prefetch buffer (when configured) is checked in parallel.
+        if let Some(buf) = self.pf_buffer.as_mut() {
+            if buf.take(block) {
+                // Move into the cache; a fully covered miss.
+                self.l1i.fill(block, LineFlags::demand_instruction());
+                // Buffer fills' latency is not tracked per block;
+                // count a representative full coverage.
+                let lat = 30.0;
+                self.stats.cmal_covered += lat;
+                self.stats.cmal_total += lat;
+                self.stats.buffer_hits += 1;
+                return DemandOutcome::Hit {
+                    was_prefetched: true,
+                };
+            }
+        }
+        self.classify_miss(block, false);
+        // In flight already?
+        if let Some(ready) = self.mshr.ready_at(block) {
+            let is_pref = self.mshr.is_prefetch(block).unwrap_or(false);
+            // Merge as a demand.
+            self.mshr.allocate(block, self.cycle, ready, false);
+            if is_pref {
+                self.stats.late_prefetches += 1;
+            }
+            return DemandOutcome::Miss {
+                ready_at: ready,
+                had_prefetch: is_pref,
+            };
+        }
+        self.stats.uncovered_misses += 1;
+        match self.request_below(block, false, 0) {
+            Some(ready) => DemandOutcome::Miss {
+                ready_at: ready,
+                had_prefetch: false,
+            },
+            None => {
+                // MSHRs full for a demand: retry next cycle.
+                DemandOutcome::Retry
+            }
+        }
+    }
+
+    fn stats_note_demand(&mut self, _block: Block) {}
+
+    fn classify_miss(&mut self, block: Block, _buffer_hit: bool) {
+        match self.prev_demand_block {
+            Some(prev) if block == prev + 1 => self.stats.seq_misses += 1,
+            Some(prev) if block == prev => {}
+            _ => self.stats.disc_misses += 1,
+        }
+    }
+
+    /// CMAL accounting for a late (in-flight) prefetch resolved at
+    /// `ready`: the fraction of the original latency that prefetching
+    /// already covered when the demand arrived.
+    fn account_late_prefetch(&mut self, block: Block, ready: u64) {
+        // The MSHR entry knows issue time only until drained; derive
+        // covered cycles from issue metadata if still present.
+        if let Some(issued_ready) = self.mshr.ready_at(block) {
+            let _ = issued_ready;
+        }
+        let total_guess = 34.0_f64.max((ready.saturating_sub(self.cycle)) as f64 + 1.0);
+        let remaining = ready.saturating_sub(self.cycle) as f64;
+        let covered = (total_guess - remaining).max(0.0);
+        self.stats.cmal_covered += covered;
+        self.stats.cmal_total += total_guess;
+    }
+
+    fn note_tage(&mut self, correct: bool) {
+        self.tage_predictions += 1;
+        self.tage_correct += u64::from(correct);
+    }
+}
+
+enum DemandOutcome {
+    Hit { was_prefetched: bool },
+    Miss { ready_at: u64, had_prefetch: bool },
+    Retry,
+}
+
+impl PrefetchContext for Machine {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        self.l1i.probe(block)
+            || self.mshr.contains(block)
+            || self.pf_buffer.as_ref().is_some_and(|b| b.contains(block))
+    }
+
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+        self.request_below(block, true, extra_delay);
+    }
+
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+        self.predecode_block(block)
+    }
+
+    fn decode_branch_at(&mut self, block: Block, byte_offset: u32) -> Option<BtbEntry> {
+        let code = Arc::clone(&self.code);
+        let entry = self.predecoder.decode_at(&code, block, byte_offset)?;
+        Some(entry)
+    }
+
+    fn btb_target(&mut self, pc: Addr) -> Option<Addr> {
+        if self.btb.contains(pc) {
+            self.btb.lookup(pc).map(|e| e.target)
+        } else {
+            None
+        }
+    }
+
+    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]) {
+        self.btb_buffer.fill(block, branches.to_vec());
+    }
+}
+
+impl RunaheadContext for Machine {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn predict_cond(&mut self, pc: Addr) -> bool {
+        self.tage.predict(pc)
+    }
+
+    fn ras_push(&mut self, ret: Addr) {
+        self.ras.push(ret);
+    }
+
+    fn ras_pop(&mut self) -> Option<Addr> {
+        self.ras.pop()
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        PrefetchContext::l1i_lookup(self, block)
+    }
+
+    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+        PrefetchContext::issue_prefetch(self, block, extra_delay);
+    }
+
+    fn block_present(&self, block: Block) -> bool {
+        self.l1i.contains(block)
+    }
+
+    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+        self.predecode_block(block)
+    }
+}
+
+enum Frontend {
+    Conventional(Option<Box<dyn InstrPrefetcher>>),
+    Boomerang(Box<Boomerang>, Ftq),
+    Shotgun(Box<Shotgun>, Ftq),
+}
+
+/// The trace-driven frontend simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    machine: Machine,
+    frontend: Frontend,
+    /// One-instruction lookahead from the trace.
+    pending: Option<Instr>,
+    /// Current FTQ region being fetched (BTB-directed mode).
+    region: Option<dcfb_frontend::FtqEntry>,
+    /// Consecutive empty-FTQ cycles (drives the core-side recovery
+    /// redirect when the discovery engine cannot make progress).
+    empty_streak: u64,
+    /// Architectural return-address stack (BTB-directed mode): used to
+    /// repair the speculative RAS after a squash.
+    arch_ras: Vec<Addr>,
+    /// Retire-side clock of the decoupled-core model: each retired
+    /// instruction costs `1 / backend_ipc` cycles, but can never retire
+    /// before it was fetched. Fetch may run ahead by at most a ROB's
+    /// worth of work; the measured execution time is the retire clock.
+    retire_clock: f64,
+    /// Retire clock at the start of the measurement window.
+    retire_mark: f64,
+}
+
+impl Simulator {
+    /// Creates a simulator over a synthetic program `image`.
+    pub fn new(cfg: SimConfig, image: Arc<ProgramImage>) -> Self {
+        let start_pc = image.functions()[0].entry;
+        let name = image.params().name.clone();
+        Simulator::with_code(cfg, image, start_pc, name)
+    }
+
+    /// Creates a simulator over any [`CodeMemory`] — e.g. a
+    /// [`dcfb_trace::RecordedCode`] reconstructed from an external
+    /// trace. `start_pc` seeds the BTB-directed discovery engines;
+    /// `workload_name` labels the report.
+    pub fn with_code(
+        cfg: SimConfig,
+        code: Arc<dyn CodeMemory + Send + Sync>,
+        start_pc: Addr,
+        workload_name: String,
+    ) -> Self {
+        let machine = Machine::new(&cfg, code, workload_name);
+        let frontend = match &cfg.prefetcher {
+            PrefetcherKind::None => Frontend::Conventional(None),
+            PrefetcherKind::NextLine(d) => {
+                Frontend::Conventional(Some(Box::new(NextLine::new(*d))))
+            }
+            PrefetcherKind::Sn4l { seq_entries } => Frontend::Conventional(Some(Box::new(
+                Sn4l::with_table(SeqTable::new(*seq_entries)),
+            ))),
+            PrefetcherKind::Dis { dis_entries, tag } => Frontend::Conventional(Some(Box::new(
+                Dis::with_table(DisTable::new(*dis_entries, *tag, cfg.isa.dis_offset_bits())),
+            ))),
+            PrefetcherKind::Sn4lDis(c) => {
+                // §V-D: a variable-length ISA needs byte offsets in the
+                // DisTable (6 bits) instead of instruction slots.
+                let mut c = c.clone();
+                c.dis_offset_bits = cfg.isa.dis_offset_bits();
+                Frontend::Conventional(Some(Box::new(Sn4lDisBtb::new(c))))
+            }
+            PrefetcherKind::Discontinuity => {
+                Frontend::Conventional(Some(Box::new(DiscontinuityPrefetcher::paper_baseline())))
+            }
+            PrefetcherKind::Confluence(c) => {
+                Frontend::Conventional(Some(Box::new(Confluence::new(*c))))
+            }
+            PrefetcherKind::Boomerang { btb_entries } => Frontend::Boomerang(
+                Box::new(Boomerang::new(*btb_entries, start_pc)),
+                Ftq::new(cfg.ftq_entries),
+            ),
+            PrefetcherKind::Shotgun(sc) => Frontend::Shotgun(
+                Box::new(Shotgun::new(*sc, start_pc)),
+                Ftq::new(cfg.ftq_entries),
+            ),
+        };
+        Simulator {
+            cfg,
+            machine,
+            frontend,
+            pending: None,
+            region: None,
+            empty_streak: 0,
+            arch_ras: Vec::with_capacity(32),
+            retire_clock: 0.0,
+            retire_mark: 0.0,
+        }
+    }
+
+    /// Runs warmup then measurement over `stream`, returning the
+    /// measured report.
+    pub fn run<S: InstrStream>(&mut self, stream: &mut S) -> SimReport {
+        self.run_instrs(stream, self.cfg.warmup_instrs);
+        self.reset_measurement();
+        self.run_instrs(stream, self.cfg.measure_instrs);
+        self.report()
+    }
+
+    /// Sustainable retire rate of the backend (server workloads are
+    /// data-bound well below the 3-wide width; Table III's 128-entry
+    /// ROB is what lets fetch run ahead and hide instruction misses).
+    pub(crate) const BACKEND_IPC: f64 = 0.75;
+    /// How far fetch may run ahead of retire (ROB capacity in cycles of
+    /// backend work).
+    const ROB_CYCLES: f64 = 128.0 / Self::BACKEND_IPC;
+
+    #[inline]
+    fn note_retired(&mut self) {
+        let fetched_at = self.machine.cycle as f64;
+        self.retire_clock = (self.retire_clock + 1.0 / Self::BACKEND_IPC).max(fetched_at);
+        // ROB backpressure: fetch cannot lead retire by more than the
+        // window; stall fetch (backend-bound, not a frontend stall).
+        let min_fetch = self.retire_clock - Self::ROB_CYCLES;
+        if (self.machine.cycle as f64) < min_fetch {
+            let target = min_fetch.ceil() as u64;
+            self.machine.stats.cycles += target - self.machine.cycle;
+            self.machine.cycle = target;
+        }
+    }
+
+    fn reset_measurement(&mut self) {
+        self.retire_clock = self.retire_clock.max(self.machine.cycle as f64);
+        self.retire_mark = self.retire_clock;
+        self.machine.stats = RawStats::default();
+        self.machine.l1i.reset_stats();
+        self.machine.uncore.reset_stats();
+        self.machine.btb.reset_stats();
+        self.machine.tage_predictions = 0;
+        self.machine.tage_correct = 0;
+        if let Frontend::Shotgun(s, _) = &mut self.frontend {
+            s.reset_btb_stats();
+        }
+    }
+
+    /// Runs until `limit` further instructions retire (or the stream
+    /// ends).
+    pub fn run_instrs<S: InstrStream>(&mut self, stream: &mut S, limit: u64) {
+        let target = self.machine.stats.instrs + limit;
+        while self.machine.stats.instrs < target {
+            if self.pending.is_none() {
+                self.pending = stream.next_instr();
+                if self.pending.is_none() {
+                    break;
+                }
+            }
+            match &mut self.frontend {
+                Frontend::Conventional(_) => self.step_conventional(stream, target),
+                Frontend::Boomerang(..) | Frontend::Shotgun(..) => {
+                    self.step_directed(stream, target)
+                }
+            }
+        }
+    }
+
+    /// Builds the measured report.
+    pub fn report(&self) -> SimReport {
+        let m = &self.machine;
+        // Execution time is the retire clock (decoupled-core model);
+        // fall back to fetch cycles if nothing retired.
+        let retire_cycles = (self.retire_clock.max(m.cycle as f64) - self.retire_mark) as u64;
+        // Re-credit prefetch-buffer absorptions as hits.
+        let mut l1i_stats = m.l1i.stats();
+        l1i_stats.demand_misses -= m.stats.buffer_hits.min(l1i_stats.demand_misses);
+        l1i_stats.demand_hits += m.stats.buffer_hits;
+        let mut r = SimReport {
+            method: self.cfg.prefetcher.name(),
+            workload: m.workload_name.clone(),
+            cycles: retire_cycles.max(1),
+            instrs: m.stats.instrs,
+            l1i: l1i_stats,
+            seq_misses: m.stats.seq_misses,
+            disc_misses: m.stats.disc_misses,
+            stall_l1i: m.stats.stall_l1i,
+            stall_btb: m.stats.stall_btb,
+            stall_redirect: m.stats.stall_redirect,
+            stall_empty_ftq: m.stats.stall_empty_ftq,
+            cmal_covered: m.stats.cmal_covered,
+            cmal_total: m.stats.cmal_total,
+            late_prefetches: m.stats.late_prefetches,
+            uncovered_misses: m.stats.uncovered_misses,
+            cache_lookups: l1i_stats.demand_accesses + l1i_stats.probes,
+            external_requests: m.uncore.stats().requests,
+            uncore: m.uncore.stats(),
+            btb: m.btb.stats(),
+            shotgun_btb: None,
+            shotgun: None,
+            storage_bits: 0,
+            branch_accuracy: if m.tage_predictions == 0 {
+                0.0
+            } else {
+                m.tage_correct as f64 / m.tage_predictions as f64
+            },
+            dropped_prefetches: m.stats.dropped_prefetches,
+        };
+        match &self.frontend {
+            Frontend::Conventional(Some(p)) => r.storage_bits = p.storage_bits(),
+            Frontend::Conventional(None) => {}
+            Frontend::Boomerang(b, _) => r.storage_bits = b.storage_bits(),
+            Frontend::Shotgun(s, _) => {
+                r.storage_bits = s.storage_bits();
+                r.shotgun_btb = Some(s.btb_stats());
+                r.shotgun = Some(s.stats());
+            }
+        }
+        r
+    }
+
+    // ---- conventional driver ----
+
+    fn step_conventional<S: InstrStream>(&mut self, stream: &mut S, target: u64) {
+        self.machine.cycle += 1;
+        self.machine.stats.cycles += 1;
+        if let Frontend::Conventional(pf) = &mut self.frontend {
+            self.machine.drain_fills(pf.as_deref_mut());
+        }
+        let mut dispatched = 0u32;
+        while dispatched < self.cfg.fetch_width && self.machine.stats.instrs < target {
+            if self.pending.is_none() {
+                self.pending = stream.next_instr();
+            }
+            let Some(instr) = self.pending else { break };
+            let block = instr.block();
+            // Block transition -> demand access.
+            if self.machine.prev_demand_block != Some(block) {
+                let hit = self.demand_with_hooks(block);
+                match hit {
+                    DemandOutcome::Hit { .. } => {}
+                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                        if had_prefetch {
+                            self.machine.account_late_prefetch(block, ready_at);
+                        }
+                        self.stall(ready_at, StallCause::L1i);
+                        return;
+                    }
+                    DemandOutcome::Retry => {
+                        self.stall(self.machine.cycle + 1, StallCause::L1i);
+                        return;
+                    }
+                }
+                self.machine.prev_demand_block = Some(block);
+            }
+            // Consume the instruction.
+            self.pending = None;
+            self.machine.stats.instrs += 1;
+            self.note_retired();
+            dispatched += 1;
+            self.machine.recent.push(instr);
+            if instr.kind.is_branch() {
+                let stallish = self.handle_branch_conventional(&instr);
+                if stallish {
+                    return;
+                }
+                if instr.redirects() {
+                    // At most one taken branch per fetch group.
+                    break;
+                }
+            }
+        }
+        if let Frontend::Conventional(Some(pf)) = &mut self.frontend {
+            pf.tick(&mut self.machine);
+        }
+    }
+
+    fn demand_with_hooks(&mut self, block: Block) -> DemandOutcome {
+        let outcome = self.machine.demand(block);
+        let (hit, was_pref) = match outcome {
+            DemandOutcome::Hit { was_prefetched } => (true, was_prefetched),
+            _ => (false, false),
+        };
+        if let Frontend::Conventional(Some(pf)) = &mut self.frontend {
+            let recent = self.machine.recent;
+            pf.on_demand(&mut self.machine, block, hit, was_pref, &recent);
+        }
+        outcome
+    }
+
+    /// Handles a branch at fetch in the conventional frontend. Returns
+    /// `true` if the step should end (stall scheduled).
+    fn handle_branch_conventional(&mut self, i: &Instr) -> bool {
+        let taken = i.redirects();
+        // Direction prediction for conditionals.
+        let mut mispredicted = false;
+        if let InstrKind::CondBranch { taken: actual } = i.kind {
+            let pred = self.machine.tage.predict(i.pc);
+            self.machine.tage.update(i.pc, actual);
+            self.machine.note_tage(pred == actual);
+            if pred != actual {
+                mispredicted = true;
+            }
+        }
+        // Target prediction / BTB.
+        let mut btb_bubble = false;
+        if taken && !self.cfg.perfect_btb {
+            let hit = self.machine.btb.lookup(i.pc);
+            match hit {
+                Some(e) => {
+                    match i.kind {
+                        InstrKind::Return => {
+                            let pred = self.machine.ras.pop();
+                            if pred != Some(i.target) {
+                                mispredicted = true;
+                            }
+                        }
+                        InstrKind::IndirectCall | InstrKind::IndirectJump => {
+                            if e.target != i.target {
+                                mispredicted = true;
+                                self.machine.btb.insert(BtbEntry {
+                                    pc: i.pc,
+                                    target: i.target,
+                                    class: e.class,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    // BTB miss on a taken branch: check the BTB prefetch
+                    // buffer first (§V-C), otherwise pay the
+                    // decode-detect bubble.
+                    if let Some(branches) = self.machine.btb_buffer.take_for(i.pc) {
+                        for b in branches {
+                            let class = b.class;
+                            let target = if b.target != 0 { b.target } else { i.target };
+                            self.machine.btb.insert(BtbEntry {
+                                pc: b.pc,
+                                target,
+                                class,
+                            });
+                        }
+                        if matches!(i.kind, InstrKind::Return) {
+                            let _ = self.machine.ras.pop();
+                        }
+                    } else {
+                        btb_bubble = true;
+                        self.machine.btb.insert(BtbEntry {
+                            pc: i.pc,
+                            target: i.target,
+                            class: class_of(i.kind),
+                        });
+                        if matches!(i.kind, InstrKind::Return) {
+                            let _ = self.machine.ras.pop();
+                        }
+                    }
+                }
+            }
+        } else if taken && self.cfg.perfect_btb && matches!(i.kind, InstrKind::Return) {
+            let _ = self.machine.ras.pop();
+        }
+        if i.kind.is_call() {
+            self.machine.ras.push(i.fallthrough());
+        }
+        if mispredicted {
+            self.wrong_path_traffic(i);
+            let until = self.machine.cycle + self.cfg.mispredict_penalty;
+            self.stall(until, StallCause::Redirect);
+            return true;
+        }
+        if btb_bubble {
+            let until = self.machine.cycle + self.cfg.btb_miss_penalty;
+            self.stall(until, StallCause::Btb);
+            return true;
+        }
+        false
+    }
+
+    /// Bounded wrong-path fetches past a mispredicted branch: they
+    /// consume external bandwidth and NoC/LLC capacity but are squashed
+    /// before polluting the L1i.
+    fn wrong_path_traffic(&mut self, i: &Instr) {
+        let wrong_start = if i.redirects() {
+            i.fallthrough() // predicted not-taken path
+        } else {
+            i.target // predicted taken path
+        };
+        let base = block_of(wrong_start);
+        for k in 0..u64::from(self.cfg.wrong_path_blocks) {
+            let b = base + k;
+            if !self.machine.l1i.contains(b) && !self.machine.mshr.contains(b) {
+                let _ = self.machine.uncore.access(self.machine.cycle, b, false, true);
+            }
+        }
+    }
+
+    /// Advances to `until`, attributing stall cycles and pumping the
+    /// prefetcher/discovery engines while waiting.
+    fn stall(&mut self, until: u64, cause: StallCause) {
+        let from = self.machine.cycle;
+        if until <= from {
+            return;
+        }
+        let span = until - from;
+        match cause {
+            StallCause::L1i => self.machine.stats.stall_l1i += span,
+            // Squashes (undetected taken branches, mispredictions)
+            // restart the pipeline: the backend refills for ~penalty
+            // cycles and retires nothing, so the cost is visible at the
+            // retire clock no matter how much fetch-ahead was buffered.
+            StallCause::Btb => {
+                self.machine.stats.stall_btb += span;
+                self.retire_clock += span as f64;
+            }
+            StallCause::Redirect => {
+                self.machine.stats.stall_redirect += span;
+                self.retire_clock += span as f64;
+            }
+        }
+        self.machine.stats.cycles += span;
+        // Pump background engines a bounded number of times during the
+        // stall, then jump the clock.
+        let resume = self.machine.cycle;
+        let pumps = span.min(16);
+        for k in 0..pumps {
+            self.machine.cycle = resume + k + 1;
+            match &mut self.frontend {
+                Frontend::Conventional(Some(pf)) => {
+                    self.machine.drain_fills(Some(pf.as_mut() as &mut dyn InstrPrefetcher));
+                    pf.tick(&mut self.machine);
+                }
+                Frontend::Conventional(None) => self.machine.drain_fills(None),
+                Frontend::Boomerang(b, ftq) => {
+                    self.machine.drain_fills(None);
+                    b.advance(&mut self.machine, ftq);
+                }
+                Frontend::Shotgun(s, ftq) => {
+                    self.machine.drain_fills(None);
+                    s.advance(&mut self.machine, ftq);
+                }
+            }
+        }
+        self.machine.cycle = until;
+    }
+
+    // ---- BTB-directed driver ----
+
+    fn step_directed<S: InstrStream>(&mut self, stream: &mut S, target: u64) {
+        self.machine.cycle += 1;
+        self.machine.stats.cycles += 1;
+        self.machine.drain_fills(None);
+        // Discovery runs every cycle.
+        match &mut self.frontend {
+            Frontend::Boomerang(b, ftq) => b.advance(&mut self.machine, ftq),
+            Frontend::Shotgun(s, ftq) => s.advance(&mut self.machine, ftq),
+            Frontend::Conventional(_) => unreachable!("directed step"),
+        }
+        // Fetch from the current region / FTQ.
+        let mut dispatched = 0u32;
+        while dispatched < self.cfg.fetch_width && self.machine.stats.instrs < target {
+            if self.pending.is_none() {
+                self.pending = stream.next_instr();
+            }
+            let Some(instr) = self.pending else { break };
+            if self.region.is_none() {
+                let popped = match &mut self.frontend {
+                    Frontend::Boomerang(_, ftq) | Frontend::Shotgun(_, ftq) => ftq.pop(),
+                    Frontend::Conventional(_) => None,
+                };
+                match popped {
+                    Some(r) => {
+                        self.empty_streak = 0;
+                        if r.start != instr.pc {
+                            // The discovery engine went down the wrong
+                            // path: redirect it to reality.
+                            self.redirect(instr.pc);
+                            let until = self.machine.cycle + self.cfg.mispredict_penalty;
+                            self.stall(until, StallCause::Redirect);
+                            return;
+                        }
+                        self.region = Some(r);
+                    }
+                    None => {
+                        // Empty FTQ: the §III pathology. When the
+                        // discovery engine cannot recover on its own —
+                        // parked on an unknown indirect target, or its
+                        // reactive-fill request was dropped — the core
+                        // makes "forward progress one block at a time":
+                        // it fetches directly until the blocking branch
+                        // resolves at execute, then redirects discovery
+                        // to the resolved target.
+                        self.empty_streak += 1;
+                        let (parked, lost_fill) = match &self.frontend {
+                            Frontend::Boomerang(b, _) => (
+                                b.is_parked(),
+                                b.stalled_block().is_some_and(|blk| {
+                                    !self.machine.mshr.contains(blk)
+                                        && !self.machine.l1i.contains(blk)
+                                }),
+                            ),
+                            Frontend::Shotgun(s, _) => (
+                                s.is_parked(),
+                                s.stalled_block().is_some_and(|blk| {
+                                    !self.machine.mshr.contains(blk)
+                                        && !self.machine.l1i.contains(blk)
+                                }),
+                            ),
+                            Frontend::Conventional(_) => (false, false),
+                        };
+                        if parked || lost_fill || self.empty_streak > 64 {
+                            self.empty_streak = 0;
+                            self.direct_fetch_fallback(stream, target, &mut dispatched);
+                        } else if dispatched == 0 {
+                            self.machine.stats.stall_empty_ftq += 1;
+                        }
+                        return;
+                    }
+                }
+            }
+            let region = self.region.expect("region set above");
+            let block = instr.block();
+            if self.machine.prev_demand_block != Some(block) {
+                match self.machine.demand(block) {
+                    DemandOutcome::Hit { .. } => {}
+                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                        if had_prefetch {
+                            self.machine.account_late_prefetch(block, ready_at);
+                        }
+                        self.stall(ready_at, StallCause::L1i);
+                        return;
+                    }
+                    DemandOutcome::Retry => {
+                        self.stall(self.machine.cycle + 1, StallCause::L1i);
+                        return;
+                    }
+                }
+                self.machine.prev_demand_block = Some(block);
+            }
+            // Consume.
+            self.pending = None;
+            self.machine.stats.instrs += 1;
+            self.note_retired();
+            dispatched += 1;
+            self.machine.recent.push(instr);
+            // Retire-side learning + direction training. `would_predict`
+            // captures what a history-current predictor says at consume
+            // time — the accuracy a real speculatively-updated BPU
+            // achieves, which our history-stale discovery pass cannot.
+            let mut would_predict_correctly = false;
+            if let InstrKind::CondBranch { taken } = instr.kind {
+                let pred = self.machine.tage.predict(instr.pc);
+                self.machine.tage.update(instr.pc, taken);
+                self.machine.note_tage(pred == taken);
+                would_predict_correctly = pred == taken;
+            }
+            // Architectural RAS (for speculative-RAS repair on squash).
+            if instr.kind.is_call() {
+                if self.arch_ras.len() == 32 {
+                    self.arch_ras.remove(0);
+                }
+                self.arch_ras.push(instr.fallthrough());
+            } else if matches!(instr.kind, InstrKind::Return) {
+                let expected = self.arch_ras.pop();
+                would_predict_correctly = expected == Some(instr.target);
+            }
+            match &mut self.frontend {
+                Frontend::Boomerang(b, _) => b.on_retire(&instr),
+                Frontend::Shotgun(s, _) => s.on_retire(&instr),
+                Frontend::Conventional(_) => unreachable!(),
+            }
+            // Region end?
+            if instr.pc >= region.end {
+                self.region = None;
+                let actual_next = instr.next_pc();
+                if actual_next != region.next {
+                    self.redirect(actual_next);
+                    // Genuine mispredicts (a history-current BPU would
+                    // also have been wrong) pay the full squash; mere
+                    // discovery drift — the runahead pass predicting
+                    // with stale history or an unrepaired RAS — is a
+                    // cheap FTQ resteer, as in hardware where the BPU
+                    // checkpoints history and the FTQ entry carries the
+                    // correct prediction.
+                    let penalty = if would_predict_correctly {
+                        2
+                    } else {
+                        self.wrong_path_traffic(&instr);
+                        self.cfg.mispredict_penalty
+                    };
+                    let until = self.machine.cycle + penalty;
+                    self.stall(until, StallCause::Redirect);
+                    return;
+                }
+                if instr.redirects() {
+                    break; // one taken branch per cycle
+                }
+            }
+        }
+    }
+
+    /// Fetches directly from the trace while the discovery engine is
+    /// wedged, redirecting it at the first resolved control transfer.
+    fn direct_fetch_fallback<S: InstrStream>(
+        &mut self,
+        stream: &mut S,
+        target: u64,
+        dispatched: &mut u32,
+    ) {
+        while *dispatched < self.cfg.fetch_width && self.machine.stats.instrs < target {
+            if self.pending.is_none() {
+                self.pending = stream.next_instr();
+            }
+            let Some(instr) = self.pending else { return };
+            let block = instr.block();
+            if self.machine.prev_demand_block != Some(block) {
+                match self.machine.demand(block) {
+                    DemandOutcome::Hit { .. } => {}
+                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                        if had_prefetch {
+                            self.machine.account_late_prefetch(block, ready_at);
+                        }
+                        self.stall(ready_at, StallCause::L1i);
+                        return;
+                    }
+                    DemandOutcome::Retry => {
+                        self.stall(self.machine.cycle + 1, StallCause::L1i);
+                        return;
+                    }
+                }
+                self.machine.prev_demand_block = Some(block);
+            }
+            self.pending = None;
+            self.machine.stats.instrs += 1;
+            self.note_retired();
+            *dispatched += 1;
+            self.machine.recent.push(instr);
+            if let InstrKind::CondBranch { taken } = instr.kind {
+                let pred = self.machine.tage.predict(instr.pc);
+                self.machine.tage.update(instr.pc, taken);
+                self.machine.note_tage(pred == taken);
+            }
+            if instr.kind.is_call() {
+                if self.arch_ras.len() == 32 {
+                    self.arch_ras.remove(0);
+                }
+                self.arch_ras.push(instr.fallthrough());
+            } else if matches!(instr.kind, InstrKind::Return) {
+                let _ = self.arch_ras.pop();
+            }
+            match &mut self.frontend {
+                Frontend::Boomerang(b, _) => b.on_retire(&instr),
+                Frontend::Shotgun(s, _) => s.on_retire(&instr),
+                Frontend::Conventional(_) => {}
+            }
+            if instr.redirects() {
+                // The blocking branch resolved at execute: restart
+                // discovery at the resolved target and charge the
+                // resolution bubble.
+                self.redirect(instr.next_pc());
+                let until = self.machine.cycle + self.cfg.btb_miss_penalty;
+                self.stall(until, StallCause::Btb);
+                return;
+            }
+        }
+    }
+
+    fn redirect(&mut self, pc: Addr) {
+        self.region = None;
+        match &mut self.frontend {
+            Frontend::Boomerang(b, ftq) => b.redirect(pc, ftq),
+            Frontend::Shotgun(s, ftq) => s.redirect(pc, ftq),
+            Frontend::Conventional(_) => {}
+        }
+        // Repair the speculative RAS from architectural state.
+        self.machine.ras.clear();
+        for &ret in &self.arch_ras {
+            self.machine.ras.push(ret);
+        }
+    }
+}
+
+enum StallCause {
+    L1i,
+    Btb,
+    Redirect,
+}
+
+fn class_of(kind: InstrKind) -> BranchClass {
+    match kind {
+        InstrKind::CondBranch { .. } => BranchClass::Conditional,
+        InstrKind::Jump => BranchClass::Jump,
+        InstrKind::Call => BranchClass::Call,
+        InstrKind::IndirectJump => BranchClass::IndirectJump,
+        InstrKind::IndirectCall => BranchClass::IndirectCall,
+        InstrKind::Return => BranchClass::Return,
+        InstrKind::Other => unreachable!("non-branch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfb_trace::IsaMode;
+    use dcfb_workloads::WorkloadParams;
+
+    fn tiny_image() -> Arc<ProgramImage> {
+        // Large enough that the dynamic hot set thrashes the shrunken
+        // test L1i (the paper's phenomena need instruction-bound
+        // workloads).
+        let params = WorkloadParams {
+            functions: 500,
+            root_functions: 32,
+            zipf_s: 0.9,
+            ..WorkloadParams::default()
+        };
+        Arc::new(ProgramImage::build(&params, 3, IsaMode::Fixed4))
+    }
+
+    fn quick_cfg(method: &str) -> SimConfig {
+        let mut cfg = SimConfig::for_method(method).expect("method");
+        cfg.warmup_instrs = 60_000;
+        cfg.measure_instrs = 120_000;
+        // The tiny test image must still thrash the L1i for the paper's
+        // phenomena to appear, so shrink the cache instead of growing
+        // the image (keeps tests fast).
+        cfg.l1i = dcfb_cache::CacheConfig::from_kib(8, 8);
+        cfg
+    }
+
+    fn run(method: &str) -> SimReport {
+        let image = tiny_image();
+        let mut sim = Simulator::new(quick_cfg(method), Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        sim.run(&mut walker)
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let r = run("Baseline");
+        assert_eq!(r.instrs, 120_000);
+        assert!(r.cycles > 0);
+        let ipc = r.ipc();
+        assert!(ipc > 0.1 && ipc <= 3.0, "ipc {ipc}");
+        assert!(r.l1i.demand_misses > 0, "workload must thrash the L1i");
+        assert!(r.frontend_stalls() > 0);
+    }
+
+    #[test]
+    fn nl_reduces_misses_vs_baseline() {
+        let base = run("Baseline");
+        let nl = run("NL");
+        assert!(
+            nl.miss_coverage_over(&base) > 0.2,
+            "NL coverage {}",
+            nl.miss_coverage_over(&base)
+        );
+        assert!(nl.ipc() > base.ipc(), "NL should speed up");
+    }
+
+    #[test]
+    fn n8l_uses_much_more_bandwidth() {
+        let base = run("Baseline");
+        let n8 = run("N8L");
+        assert!(
+            n8.bandwidth_over(&base) > 2.0,
+            "N8L bandwidth {}",
+            n8.bandwidth_over(&base)
+        );
+    }
+
+    #[test]
+    fn sn4l_issues_less_traffic_than_n4l() {
+        let n4 = run("N4L");
+        let sn4 = run("SN4L");
+        let base = run("Baseline");
+        assert!(
+            sn4.bandwidth_over(&base) < n4.bandwidth_over(&base),
+            "SN4L {} vs N4L {}",
+            sn4.bandwidth_over(&base),
+            n4.bandwidth_over(&base)
+        );
+    }
+
+    #[test]
+    fn full_system_beats_baseline() {
+        let base = run("Baseline");
+        let full = run("SN4L+Dis+BTB");
+        assert!(
+            full.speedup_over(&base) > 1.02,
+            "speedup {}",
+            full.speedup_over(&base)
+        );
+        assert!(full.fscr_over(&base) > 0.1, "fscr {}", full.fscr_over(&base));
+    }
+
+    #[test]
+    fn directed_frontends_run() {
+        for m in ["Boomerang", "Shotgun"] {
+            let r = run(m);
+            assert_eq!(r.instrs, 120_000, "{m}");
+            assert!(r.ipc() > 0.1, "{m} ipc {}", r.ipc());
+        }
+    }
+
+    #[test]
+    fn shotgun_reports_split_btb_stats() {
+        let r = run("Shotgun");
+        let s = r.shotgun_btb.expect("shotgun split-BTB stats");
+        assert!(s.u_lookups > 0);
+        let e = r.shotgun.expect("shotgun engine stats");
+        assert!(e.dyn_uncond > 0, "no unconditional branches retired");
+        let fmr = e.footprint_miss_ratio();
+        assert!((0.0..=1.0).contains(&fmr), "fmr {fmr}");
+    }
+
+    #[test]
+    fn perfect_l1i_removes_l1i_stalls() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("Baseline");
+        cfg.perfect_l1i = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        assert_eq!(r.stall_l1i, 0);
+        assert_eq!(r.l1i.demand_misses, 0);
+        let base = run("Baseline");
+        assert!(r.ipc() > base.ipc());
+    }
+
+    #[test]
+    fn perfect_btb_removes_btb_stalls() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("Baseline");
+        cfg.perfect_l1i = true;
+        cfg.perfect_btb = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        assert_eq!(r.stall_btb, 0);
+        assert_eq!(r.frontend_stalls(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run("SN4L+Dis+BTB");
+        let b = run("SN4L+Dis+BTB");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1i.demand_misses, b.l1i.demand_misses);
+        assert_eq!(a.external_requests, b.external_requests);
+    }
+
+    #[test]
+    fn confluence_covers_misses() {
+        let base = run("Baseline");
+        let conf = run("Confluence");
+        assert!(
+            conf.miss_coverage_over(&base) > 0.3,
+            "coverage {}",
+            conf.miss_coverage_over(&base)
+        );
+    }
+
+    #[test]
+    fn prefetch_buffer_mode_absorbs_misses() {
+        // The Fig. 5 methodology: NXL prefetches land in a 64-entry
+        // buffer instead of the cache; demand misses that hit the
+        // buffer are re-credited as hits.
+        let image = tiny_image();
+        let mut cfg = quick_cfg("N4L");
+        cfg.use_prefetch_buffer = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(Arc::clone(&image), 5);
+        let buffered = sim.run(&mut walker);
+        let direct = run("N4L");
+        // Both configurations must cover misses; the buffered one keeps
+        // useless prefetches out of the cache entirely.
+        assert!(buffered.l1i_mpki() < run("Baseline").l1i_mpki());
+        assert_eq!(direct.method, "N4L");
+        assert!(buffered.l1i.useless_prefetch_evictions <= direct.l1i.useless_prefetch_evictions);
+    }
+
+    #[test]
+    fn variable_isa_simulation_runs_with_dvllc() {
+        let params = WorkloadParams {
+            functions: 300,
+            root_functions: 12,
+            ..WorkloadParams::default()
+        };
+        let image = Arc::new(ProgramImage::build(&params, 9, IsaMode::Variable));
+        let mut cfg = quick_cfg("SN4L+Dis+BTB");
+        cfg.isa = IsaMode::Variable;
+        cfg.uncore.dvllc = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        assert_eq!(r.instrs, 120_000);
+        assert!(r.ipc() > 0.1);
+    }
+
+    #[test]
+    fn exhausted_stream_ends_the_run() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("Baseline");
+        cfg.warmup_instrs = 1_000;
+        cfg.measure_instrs = u64::MAX; // more than the trace offers
+        let mut walker = dcfb_workloads::Walker::new(Arc::clone(&image), 5);
+        let trace = dcfb_trace::VecTrace::capture(&mut walker, 5_000);
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut replay = trace.replay();
+        let r = sim.run(&mut replay);
+        assert_eq!(r.instrs, 4_000, "measured = total - warmup");
+    }
+
+    #[test]
+    fn wrong_path_traffic_consumes_bandwidth() {
+        // Wrong-path fetches must show up below the L1i but never
+        // pollute it: external requests exceed fills.
+        let r = run("Baseline");
+        assert!(r.stall_redirect > 0, "no mispredicts in test workload?");
+        assert!(
+            r.external_requests > r.l1i.fills,
+            "wrong-path traffic missing: ext {} vs fills {}",
+            r.external_requests,
+            r.l1i.fills
+        );
+    }
+
+    #[test]
+    fn ipc_never_exceeds_backend_rate_when_frontend_is_perfect() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("Baseline");
+        cfg.perfect_l1i = true;
+        cfg.perfect_btb = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        // The decoupled-core model caps sustained IPC at the backend
+        // rate (plus redirect effects pulling it below).
+        assert!(r.ipc() <= Simulator::BACKEND_IPC + 1e-9, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn cmal_is_a_sane_fraction() {
+        for m in ["NL", "N4L", "SN4L"] {
+            let r = run(m);
+            let c = r.cmal();
+            assert!((0.0..=1.0).contains(&c), "{m} cmal {c}");
+            assert!(r.cmal_total > 0.0, "{m} had no prefetched misses");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{all_workloads, Walker};
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn btb_pressure() {
+    for w in all_workloads().into_iter().take(3) {
+        let image = w.image(IsaMode::Fixed4);
+        let mut cfg = SimConfig::for_method("Baseline").unwrap();
+        cfg.warmup_instrs = 500_000;
+        cfg.measure_instrs = 1_000_000;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = Walker::new(Arc::clone(&image), 7);
+        let r = sim.run(&mut walker);
+        println!(
+            "{:16} btb_lookups={} miss_ratio={:.3} stall_btb={} stall_l1i={} stall_red={} cycles={}",
+            w.name, r.btb.lookups, r.btb.miss_ratio(), r.stall_btb, r.stall_l1i, r.stall_redirect, r.cycles
+        );
+    }
+}

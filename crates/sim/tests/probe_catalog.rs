@@ -1,0 +1,25 @@
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{all_workloads, Walker};
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn catalog() {
+    for w in all_workloads() {
+        let image = w.image(IsaMode::Fixed4);
+        let mut cfg = SimConfig::for_method("Baseline").unwrap();
+        cfg.warmup_instrs = 500_000;
+        cfg.measure_instrs = 1_000_000;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = Walker::new(Arc::clone(&image), 7);
+        let r = sim.run(&mut walker);
+        let fe = r.frontend_stalls() as f64 / r.cycles as f64;
+        println!(
+            "{:16} ipc={:.3} mpki={:5.1} seq_frac={:.2} fe_stall={:.2} red_frac={:.2} code_kb={}",
+            w.name, r.ipc(), r.l1i_mpki(), r.seq_miss_fraction(), fe,
+            r.stall_redirect as f64 / r.cycles as f64,
+            image.code_bytes() / 1024,
+        );
+    }
+}

@@ -1,0 +1,31 @@
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{ProgramImage, Walker, WorkloadParams};
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn probe() {
+    let params = WorkloadParams {
+        functions: 500,
+        root_functions: 32,
+        zipf_s: 0.9,
+        ..WorkloadParams::default()
+    };
+    let image = Arc::new(ProgramImage::build(&params, 3, IsaMode::Fixed4));
+    for m in ["Baseline", "NL", "N4L", "Confluence", "SN4L", "SN4L+Dis", "SN4L+Dis+BTB", "Boomerang", "Shotgun"] {
+        let mut cfg = SimConfig::for_method(m).unwrap();
+        cfg.warmup_instrs = 60_000;
+        cfg.measure_instrs = 120_000;
+        cfg.l1i = dcfb_cache::CacheConfig::from_kib(8, 8);
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut w = Walker::new(Arc::clone(&image), 5);
+        let r = sim.run(&mut w);
+        println!(
+            "{m:14} ipc={:.3} mpki={:.1} seq={} disc={} ext={} stalls: l1i={} btb={} red={} ftq={} cmal={:.2} pf_fills={} useless_ev={}",
+            r.ipc(), r.l1i_mpki(), r.seq_misses, r.disc_misses, r.external_requests,
+            r.stall_l1i, r.stall_btb, r.stall_redirect, r.stall_empty_ftq, r.cmal(),
+            r.l1i.prefetch_fills, r.l1i.useless_prefetch_evictions,
+        );
+    }
+}

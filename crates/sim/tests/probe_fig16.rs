@@ -1,0 +1,38 @@
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{all_workloads, Walker};
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn fig16() {
+    let methods = ["SN4L+Dis+BTB", "Shotgun", "Confluence", "SN4L", "SN4L+Dis", "N4L"];
+    println!("{:16} {:>8} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8}", "workload", "base", "SN4L+Dis+BTB", "Shotgun", "Confl", "SN4L", "S+Dis", "N4L");
+    let mut sums = vec![0.0; methods.len()];
+    for w in all_workloads() {
+        let image = w.image(IsaMode::Fixed4);
+        let run = |method: &str| {
+            let mut cfg = SimConfig::for_method(method).unwrap();
+            cfg.warmup_instrs = 500_000;
+            cfg.measure_instrs = 1_000_000;
+            let mut sim = Simulator::new(cfg, Arc::clone(&image));
+            let mut walker = Walker::new(Arc::clone(&image), 7);
+            sim.run(&mut walker)
+        };
+        let base = run("Baseline");
+        let mut row = format!("{:16} {:8.3}", w.name, base.ipc());
+        for (i, m) in methods.iter().enumerate() {
+            let r = run(m);
+            let sp = r.ipc() / base.ipc();
+            sums[i] += sp.ln();
+            row += &format!(" {:8.3}", sp);
+        }
+        println!("{row}");
+    }
+    let n = all_workloads().len() as f64;
+    let mut row = format!("{:16} {:8}", "GEOMEAN", "");
+    for s in &sums {
+        row += &format!(" {:8.3}", (s / n).exp());
+    }
+    println!("{row}");
+}

@@ -1,0 +1,31 @@
+use dcfb_trace::{InstrStream, IsaMode};
+use dcfb_workloads::{all_workloads, Walker};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+#[test]
+#[ignore]
+fn footprint() {
+    for w in all_workloads().into_iter().take(3) {
+        let image = w.image(IsaMode::Fixed4);
+        let mut walker = Walker::new(Arc::clone(&image), 7);
+        // Skip warmup region
+        for _ in 0..500_000 { walker.next_instr(); }
+        let mut window = HashSet::new();
+        let mut total = HashSet::new();
+        let mut windows = vec![];
+        for i in 0..1_000_000u64 {
+            let b = walker.next_instr().unwrap().block();
+            window.insert(b);
+            total.insert(b);
+            if (i + 1) % 100_000 == 0 {
+                windows.push(window.len());
+                window.clear();
+            }
+        }
+        println!(
+            "{:16} per-100K-instr blocks: {:?}  1M-total: {} ({} KB) txns={}",
+            w.name, windows, total.len(), total.len() * 64 / 1024, walker.transactions(),
+        );
+    }
+}

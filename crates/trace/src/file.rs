@@ -1,0 +1,345 @@
+//! Trace (de)serialization: record a trace to a file and replay it.
+//!
+//! Two formats are supported:
+//!
+//! * **Binary** (`.dcfbt`) — compact fixed-width records behind a magic
+//!   header; the native interchange format.
+//! * **Text** — one instruction per line,
+//!   `pc size kind [target [taken]]`, with `#` comments; easy to
+//!   generate from other simulators' traces (e.g. a ChampSim trace
+//!   converted by a script).
+//!
+//! Both round-trip exactly through [`Instr`], so a recorded synthetic
+//! trace and a replayed one drive the simulator identically.
+
+use crate::instr::{Instr, InstrKind};
+use crate::stream::{InstrStream, VecTrace};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic bytes at the start of a binary trace file.
+pub const MAGIC: &[u8; 8] = b"DCFBTRC1";
+
+/// One encoded record: pc (8) + target (8) + size (1) + kind (1).
+const RECORD_BYTES: usize = 18;
+
+fn kind_code(kind: InstrKind) -> u8 {
+    match kind {
+        InstrKind::Other => 0,
+        InstrKind::CondBranch { taken: false } => 1,
+        InstrKind::CondBranch { taken: true } => 2,
+        InstrKind::Jump => 3,
+        InstrKind::Call => 4,
+        InstrKind::IndirectJump => 5,
+        InstrKind::IndirectCall => 6,
+        InstrKind::Return => 7,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<InstrKind> {
+    Some(match code {
+        0 => InstrKind::Other,
+        1 => InstrKind::CondBranch { taken: false },
+        2 => InstrKind::CondBranch { taken: true },
+        3 => InstrKind::Jump,
+        4 => InstrKind::Call,
+        5 => InstrKind::IndirectJump,
+        6 => InstrKind::IndirectCall,
+        7 => InstrKind::Return,
+        _ => return None,
+    })
+}
+
+/// Writes up to `limit` instructions from `stream` to `out` in the
+/// binary format. Returns the number written.
+pub fn write_binary<S: InstrStream, W: Write>(
+    stream: &mut S,
+    out: W,
+    limit: u64,
+) -> io::Result<u64> {
+    let mut w = BufWriter::new(out);
+    w.write_all(MAGIC)?;
+    let mut n = 0u64;
+    let mut buf = [0u8; RECORD_BYTES];
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        buf[0..8].copy_from_slice(&i.pc.to_le_bytes());
+        buf[8..16].copy_from_slice(&i.target.to_le_bytes());
+        buf[16] = i.size;
+        buf[17] = kind_code(i.kind);
+        w.write_all(&buf)?;
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Reads a binary trace written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic header, a truncated record, or
+/// an unknown instruction-kind code.
+pub fn read_binary<R: Read>(input: R) -> io::Result<VecTrace> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a DCFB binary trace (bad magic)",
+        ));
+    }
+    let mut instrs = Vec::new();
+    let mut buf = [0u8; RECORD_BYTES];
+    loop {
+        match r.read_exact(&mut buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // Distinguish clean EOF from a truncated record: peek.
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let size = buf[16];
+        let kind = kind_from_code(buf[17]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad kind code {}", buf[17]))
+        })?;
+        if size == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "zero instruction size",
+            ));
+        }
+        instrs.push(Instr {
+            pc,
+            size,
+            kind,
+            target,
+        });
+    }
+    Ok(VecTrace::new(instrs))
+}
+
+fn kind_name(kind: InstrKind) -> &'static str {
+    match kind {
+        InstrKind::Other => "other",
+        InstrKind::CondBranch { .. } => "cond",
+        InstrKind::Jump => "jump",
+        InstrKind::Call => "call",
+        InstrKind::IndirectJump => "ijump",
+        InstrKind::IndirectCall => "icall",
+        InstrKind::Return => "ret",
+    }
+}
+
+/// Writes up to `limit` instructions as text, one per line:
+/// `pc size kind [target [taken]]` (hex pc/target). Returns the number
+/// written.
+pub fn write_text<S: InstrStream, W: Write>(
+    stream: &mut S,
+    out: W,
+    limit: u64,
+) -> io::Result<u64> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# dcfb text trace v1: pc size kind [target [taken]]")?;
+    let mut n = 0u64;
+    while n < limit {
+        let Some(i) = stream.next_instr() else { break };
+        match i.kind {
+            InstrKind::Other => writeln!(w, "{:#x} {} other", i.pc, i.size)?,
+            InstrKind::CondBranch { taken } => writeln!(
+                w,
+                "{:#x} {} cond {:#x} {}",
+                i.pc,
+                i.size,
+                i.target,
+                u8::from(taken)
+            )?,
+            k => writeln!(w, "{:#x} {} {} {:#x}", i.pc, i.size, kind_name(k), i.target)?,
+        }
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Parses a text trace written by [`write_text`] (or hand-made in the
+/// same format). Blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns `InvalidData` with the offending line number on malformed
+/// input.
+pub fn read_text<R: Read>(input: R) -> io::Result<VecTrace> {
+    let r = BufReader::new(input);
+    let mut instrs = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}: {line}", lineno + 1),
+            )
+        };
+        let mut parts = line.split_whitespace();
+        let pc = parse_u64(parts.next().ok_or_else(|| bad("missing pc"))?)
+            .ok_or_else(|| bad("bad pc"))?;
+        let size: u8 = parts
+            .next()
+            .ok_or_else(|| bad("missing size"))?
+            .parse()
+            .map_err(|_| bad("bad size"))?;
+        if size == 0 {
+            return Err(bad("zero size"));
+        }
+        let kind_str = parts.next().ok_or_else(|| bad("missing kind"))?;
+        let mut target = 0u64;
+        let kind = match kind_str {
+            "other" => InstrKind::Other,
+            "cond" => {
+                target = parse_u64(parts.next().ok_or_else(|| bad("cond needs target"))?)
+                    .ok_or_else(|| bad("bad target"))?;
+                let taken: u8 = parts
+                    .next()
+                    .ok_or_else(|| bad("cond needs taken flag"))?
+                    .parse()
+                    .map_err(|_| bad("bad taken flag"))?;
+                InstrKind::CondBranch { taken: taken != 0 }
+            }
+            other => {
+                target = parse_u64(parts.next().ok_or_else(|| bad("branch needs target"))?)
+                    .ok_or_else(|| bad("bad target"))?;
+                match other {
+                    "jump" => InstrKind::Jump,
+                    "call" => InstrKind::Call,
+                    "ijump" => InstrKind::IndirectJump,
+                    "icall" => InstrKind::IndirectCall,
+                    "ret" => InstrKind::Return,
+                    _ => return Err(bad("unknown kind")),
+                }
+            }
+        };
+        instrs.push(Instr {
+            pc,
+            size,
+            kind,
+            target,
+        });
+    }
+    Ok(VecTrace::new(instrs))
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Instr> {
+        vec![
+            Instr::other(0x1000, 4),
+            Instr::branch(0x1004, 4, InstrKind::CondBranch { taken: true }, 0x2000),
+            Instr::branch(0x2000, 2, InstrKind::Call, 0x3000),
+            Instr::branch(0x3000, 7, InstrKind::Return, 0x2002),
+            Instr::branch(0x2002, 4, InstrKind::IndirectJump, 0x4000),
+            Instr::branch(0x4000, 1, InstrKind::CondBranch { taken: false }, 0x9999),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut src = VecTrace::new(sample());
+        let mut buf = Vec::new();
+        let n = write_binary(&mut src, &mut buf, u64::MAX).unwrap();
+        assert_eq!(n, 6);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.instrs(), sample().as_slice());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut src = VecTrace::new(sample());
+        let mut buf = Vec::new();
+        let n = write_text(&mut src, &mut buf, u64::MAX).unwrap();
+        assert_eq!(n, 6);
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back.instrs(), sample().as_slice());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut src = VecTrace::new(sample());
+        let mut buf = Vec::new();
+        assert_eq!(write_binary(&mut src, &mut buf, 2).unwrap(), 2);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTATRCE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_bad_kind() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.push(4); // size
+        buf.push(99); // bad kind
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn text_accepts_comments_and_decimal() {
+        let text = "# comment\n\n4096 4 other\n0x1004 4 jump 8192\n";
+        let t = read_text(text.as_bytes()).unwrap();
+        assert_eq!(t.instrs().len(), 2);
+        assert_eq!(t.instrs()[0].pc, 4096);
+        assert_eq!(t.instrs()[1].target, 8192);
+    }
+
+    #[test]
+    fn text_reports_line_numbers() {
+        let text = "0x1000 4 other\n0x1004 4 zorp\n";
+        let err = read_text(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn text_rejects_missing_fields() {
+        assert!(read_text(&b"0x1000"[..]).is_err());
+        assert!(read_text(&b"0x1000 4 cond 0x2000"[..]).is_err()); // no taken
+        assert!(read_text(&b"0x1000 0 other"[..]).is_err()); // zero size
+    }
+
+    #[test]
+    fn replayed_trace_drives_streams_identically() {
+        let mut src = VecTrace::new(sample());
+        let mut buf = Vec::new();
+        write_binary(&mut src, &mut buf, u64::MAX).unwrap();
+        let mut a = VecTrace::new(sample());
+        let mut b = read_binary(buf.as_slice()).unwrap();
+        loop {
+            let (x, y) = (a.next_instr(), b.next_instr());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+}

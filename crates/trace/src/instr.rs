@@ -1,0 +1,338 @@
+//! Dynamic and static instruction records.
+//!
+//! A *dynamic* instruction ([`Instr`]) is one executed occurrence on the
+//! retired (correct) path: it knows whether a conditional branch was taken
+//! and what the resolved target was. A *static* instruction
+//! ([`StaticInstr`]) is what a pre-decoder can recover from the bytes of a
+//! cache block: its position, size, branch kind, and — for direct
+//! branches — the target encoded in the instruction itself.
+
+use crate::{block_of, block_offset, Addr, Block};
+
+/// The control-flow class of a dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// A non-control-flow instruction (ALU, load, store, ...).
+    Other,
+    /// A conditional branch; `taken` records the resolved direction.
+    CondBranch {
+        /// Whether this execution of the branch was taken.
+        taken: bool,
+    },
+    /// A direct unconditional jump.
+    Jump,
+    /// A direct call (pushes a return address).
+    Call,
+    /// An indirect unconditional jump (target from a register).
+    IndirectJump,
+    /// An indirect call.
+    IndirectCall,
+    /// A return (target from the call stack).
+    Return,
+}
+
+impl InstrKind {
+    /// Returns `true` for every control-flow instruction.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        !matches!(self, InstrKind::Other)
+    }
+
+    /// Returns `true` for unconditional control flow (always redirects).
+    #[inline]
+    pub fn is_unconditional(self) -> bool {
+        matches!(
+            self,
+            InstrKind::Jump
+                | InstrKind::Call
+                | InstrKind::IndirectJump
+                | InstrKind::IndirectCall
+                | InstrKind::Return
+        )
+    }
+
+    /// Returns `true` if this instruction pushes a return address.
+    #[inline]
+    pub fn is_call(self) -> bool {
+        matches!(self, InstrKind::Call | InstrKind::IndirectCall)
+    }
+
+    /// Returns `true` if the branch target is encoded in the instruction
+    /// bytes (recoverable by a pre-decoder without any BTB consultation).
+    #[inline]
+    pub fn target_in_encoding(self) -> bool {
+        matches!(
+            self,
+            InstrKind::CondBranch { .. } | InstrKind::Jump | InstrKind::Call
+        )
+    }
+
+    /// The corresponding static (pre-decode visible) kind.
+    pub fn static_kind(self) -> StaticKind {
+        match self {
+            InstrKind::Other => StaticKind::Other,
+            InstrKind::CondBranch { .. } => StaticKind::CondBranch,
+            InstrKind::Jump => StaticKind::Jump,
+            InstrKind::Call => StaticKind::Call,
+            InstrKind::IndirectJump => StaticKind::IndirectJump,
+            InstrKind::IndirectCall => StaticKind::IndirectCall,
+            InstrKind::Return => StaticKind::Return,
+        }
+    }
+}
+
+/// One dynamic (executed, correct-path) instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instr {
+    /// Address of the first byte of the instruction.
+    pub pc: Addr,
+    /// Encoded size in bytes (4 in fixed-length mode, 1–15 in variable).
+    pub size: u8,
+    /// Control-flow class, including the resolved direction.
+    pub kind: InstrKind,
+    /// Resolved control-flow target.
+    ///
+    /// Meaningful only when [`Self::redirects`] returns `true`; `0`
+    /// otherwise.
+    pub target: Addr,
+}
+
+impl Instr {
+    /// Creates a non-branch instruction.
+    pub fn other(pc: Addr, size: u8) -> Self {
+        Instr {
+            pc,
+            size,
+            kind: InstrKind::Other,
+            target: 0,
+        }
+    }
+
+    /// Creates a branch instruction of the given `kind` and resolved
+    /// `target`.
+    pub fn branch(pc: Addr, size: u8, kind: InstrKind, target: Addr) -> Self {
+        debug_assert!(kind.is_branch());
+        Instr {
+            pc,
+            size,
+            kind,
+            target,
+        }
+    }
+
+    /// The fall-through address (start of the next sequential instruction).
+    #[inline]
+    pub fn fallthrough(&self) -> Addr {
+        self.pc + Addr::from(self.size)
+    }
+
+    /// Whether this execution redirected control flow away from the
+    /// fall-through path.
+    #[inline]
+    pub fn redirects(&self) -> bool {
+        match self.kind {
+            InstrKind::Other => false,
+            InstrKind::CondBranch { taken } => taken,
+            _ => true,
+        }
+    }
+
+    /// The address of the instruction that executes next on the correct
+    /// path.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        if self.redirects() {
+            self.target
+        } else {
+            self.fallthrough()
+        }
+    }
+
+    /// Cache block containing the first byte of this instruction.
+    #[inline]
+    pub fn block(&self) -> Block {
+        block_of(self.pc)
+    }
+
+    /// Byte offset of this instruction within its cache block.
+    #[inline]
+    pub fn byte_offset(&self) -> u32 {
+        block_offset(self.pc)
+    }
+}
+
+/// The control-flow class of a static instruction, as visible to a
+/// pre-decoder (no dynamic direction information).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StaticKind {
+    /// Non-control-flow instruction.
+    Other,
+    /// Conditional branch (direction unknown statically).
+    CondBranch,
+    /// Direct unconditional jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Indirect jump (target not in the encoding).
+    IndirectJump,
+    /// Indirect call (target not in the encoding).
+    IndirectCall,
+    /// Return.
+    Return,
+}
+
+impl StaticKind {
+    /// Returns `true` for every control-flow instruction.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        !matches!(self, StaticKind::Other)
+    }
+
+    /// Returns `true` if a pre-decoder can extract the target from the
+    /// instruction bytes alone.
+    #[inline]
+    pub fn target_in_encoding(self) -> bool {
+        matches!(
+            self,
+            StaticKind::CondBranch | StaticKind::Jump | StaticKind::Call
+        )
+    }
+
+    /// Returns `true` for conditional branches.
+    #[inline]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, StaticKind::CondBranch)
+    }
+
+    /// Returns `true` for unconditional control flow.
+    #[inline]
+    pub fn is_unconditional(self) -> bool {
+        self.is_branch() && !self.is_conditional()
+    }
+}
+
+/// One static instruction, as recoverable by pre-decoding the bytes of a
+/// cache block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticInstr {
+    /// Address of the first byte.
+    pub pc: Addr,
+    /// Encoded size in bytes.
+    pub size: u8,
+    /// Static control-flow class.
+    pub kind: StaticKind,
+    /// Target encoded in the instruction, when
+    /// [`StaticKind::target_in_encoding`] holds; `None` otherwise.
+    pub target: Option<Addr>,
+}
+
+impl StaticInstr {
+    /// Byte offset of this instruction within its cache block.
+    #[inline]
+    pub fn byte_offset(&self) -> u32 {
+        block_offset(self.pc)
+    }
+
+    /// Cache block containing the first byte of this instruction.
+    #[inline]
+    pub fn block(&self) -> Block {
+        block_of(self.pc)
+    }
+
+    /// Instruction index within the block for a fixed-length (4 B) ISA.
+    ///
+    /// The paper's `DisTable` stores a 4-bit *instruction offset*
+    /// distinguishing the 16 possible 4-byte slots of a 64-byte block.
+    #[inline]
+    pub fn instr_offset_fixed4(&self) -> u32 {
+        self.byte_offset() / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_does_not_redirect() {
+        let i = Instr::other(0x1000, 4);
+        assert!(!i.redirects());
+        assert_eq!(i.next_pc(), 0x1004);
+        assert!(!i.kind.is_branch());
+    }
+
+    #[test]
+    fn taken_cond_branch_redirects() {
+        let i = Instr::branch(0x1000, 4, InstrKind::CondBranch { taken: true }, 0x2000);
+        assert!(i.redirects());
+        assert_eq!(i.next_pc(), 0x2000);
+        let nt = Instr::branch(0x1000, 4, InstrKind::CondBranch { taken: false }, 0x2000);
+        assert!(!nt.redirects());
+        assert_eq!(nt.next_pc(), 0x1004);
+    }
+
+    #[test]
+    fn unconditional_always_redirects() {
+        for kind in [
+            InstrKind::Jump,
+            InstrKind::Call,
+            InstrKind::IndirectJump,
+            InstrKind::IndirectCall,
+            InstrKind::Return,
+        ] {
+            let i = Instr::branch(0x40, 4, kind, 0x80);
+            assert!(i.redirects(), "{kind:?}");
+            assert_eq!(i.next_pc(), 0x80);
+            assert!(kind.is_unconditional());
+        }
+    }
+
+    #[test]
+    fn target_in_encoding_matches_directness() {
+        assert!(InstrKind::Jump.target_in_encoding());
+        assert!(InstrKind::Call.target_in_encoding());
+        assert!(InstrKind::CondBranch { taken: false }.target_in_encoding());
+        assert!(!InstrKind::IndirectJump.target_in_encoding());
+        assert!(!InstrKind::IndirectCall.target_in_encoding());
+        assert!(!InstrKind::Return.target_in_encoding());
+        assert!(!InstrKind::Other.target_in_encoding());
+    }
+
+    #[test]
+    fn static_kind_mapping_is_consistent() {
+        let pairs = [
+            (InstrKind::Other, StaticKind::Other),
+            (InstrKind::CondBranch { taken: true }, StaticKind::CondBranch),
+            (InstrKind::Jump, StaticKind::Jump),
+            (InstrKind::Call, StaticKind::Call),
+            (InstrKind::IndirectJump, StaticKind::IndirectJump),
+            (InstrKind::IndirectCall, StaticKind::IndirectCall),
+            (InstrKind::Return, StaticKind::Return),
+        ];
+        for (dynk, stk) in pairs {
+            assert_eq!(dynk.static_kind(), stk);
+            assert_eq!(dynk.is_branch(), stk.is_branch());
+            assert_eq!(dynk.target_in_encoding(), stk.target_in_encoding());
+        }
+    }
+
+    #[test]
+    fn instr_offset_fixed4_spans_block() {
+        for slot in 0..16u64 {
+            let s = StaticInstr {
+                pc: 0x1000 + slot * 4,
+                size: 4,
+                kind: StaticKind::Other,
+                target: None,
+            };
+            assert_eq!(s.instr_offset_fixed4(), slot as u32);
+        }
+    }
+
+    #[test]
+    fn block_and_offset_of_instr() {
+        let i = Instr::other(0x1044, 4);
+        assert_eq!(i.block(), 0x1044 >> 6);
+        assert_eq!(i.byte_offset(), 0x04);
+    }
+}

@@ -1,0 +1,130 @@
+//! ISA encoding mode: fixed-length vs. variable-length instructions.
+
+/// Instruction encoding mode.
+///
+/// The paper's evaluation machine is UltraSPARC (fixed 4-byte
+/// instructions); Section V-D extends the proposal to variable-length
+/// ISAs. The two modes differ in:
+///
+/// * how a `DisTable` entry names a branch inside a block (4-bit
+///   instruction offset vs. 6-bit byte offset),
+/// * whether a pre-decoder can find instruction boundaries on its own
+///   (fixed) or needs a branch footprint (variable),
+/// * the instruction size distribution used by the workload generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum IsaMode {
+    /// Fixed 4-byte instructions (SPARC-like). Default.
+    #[default]
+    Fixed4,
+    /// Variable 1–15-byte instructions (x86-like).
+    Variable,
+}
+
+impl IsaMode {
+    /// Number of bits a `DisTable` entry needs to name a branch within a
+    /// 64-byte block in this mode (paper §V-D: 4 bits fixed, 6 bits
+    /// variable — a 20 % `DisTable` storage increase on an 8-bit entry,
+    /// i.e. 8 → 10 bits).
+    pub fn dis_offset_bits(self) -> u32 {
+        match self {
+            IsaMode::Fixed4 => 4,
+            IsaMode::Variable => 6,
+        }
+    }
+
+    /// Maximum number of instructions that can start within one 64-byte
+    /// block.
+    pub fn max_instrs_per_block(self) -> usize {
+        match self {
+            IsaMode::Fixed4 => 16,
+            IsaMode::Variable => 64,
+        }
+    }
+
+    /// Whether a pre-decoder can determine instruction boundaries from
+    /// the block bytes alone (without a branch footprint).
+    pub fn self_describing_boundaries(self) -> bool {
+        matches!(self, IsaMode::Fixed4)
+    }
+
+    /// Draws an instruction size (in bytes) for this mode.
+    ///
+    /// `entropy` is a uniformly random 32-bit value supplied by the
+    /// caller, keeping this crate independent of any RNG implementation.
+    /// The variable-length distribution is a coarse x86-64 mix: mostly
+    /// 2–5 bytes, with a tail up to 11 bytes (mean ≈ 3.7 B).
+    pub fn draw_size(self, entropy: u32) -> u8 {
+        match self {
+            IsaMode::Fixed4 => 4,
+            IsaMode::Variable => {
+                // Weighted buckets out of 100.
+                const TABLE: [(u8, u32); 9] = [
+                    (1, 6),
+                    (2, 18),
+                    (3, 24),
+                    (4, 20),
+                    (5, 14),
+                    (6, 8),
+                    (7, 5),
+                    (8, 3),
+                    (11, 2),
+                ];
+                let mut roll = entropy % 100;
+                for (size, weight) in TABLE {
+                    if roll < weight {
+                        return size;
+                    }
+                    roll -= weight;
+                }
+                4
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_mode_properties() {
+        let m = IsaMode::Fixed4;
+        assert_eq!(m.dis_offset_bits(), 4);
+        assert_eq!(m.max_instrs_per_block(), 16);
+        assert!(m.self_describing_boundaries());
+        for e in 0..1000 {
+            assert_eq!(m.draw_size(e), 4);
+        }
+    }
+
+    #[test]
+    fn variable_mode_properties() {
+        let m = IsaMode::Variable;
+        assert_eq!(m.dis_offset_bits(), 6);
+        assert_eq!(m.max_instrs_per_block(), 64);
+        assert!(!m.self_describing_boundaries());
+    }
+
+    #[test]
+    fn variable_sizes_in_range_and_varied() {
+        let m = IsaMode::Variable;
+        let mut seen = std::collections::HashSet::new();
+        let mut sum = 0u64;
+        const N: u32 = 10_000;
+        for e in 0..N {
+            // Spread entropy so buckets are hit evenly.
+            let s = m.draw_size(e.wrapping_mul(2_654_435_761));
+            assert!((1..=15).contains(&s));
+            seen.insert(s);
+            sum += u64::from(s);
+        }
+        assert!(seen.len() >= 5, "expected a spread of sizes: {seen:?}");
+        let mean = sum as f64 / f64::from(N);
+        assert!((2.5..5.5).contains(&mean), "mean size {mean}");
+    }
+
+    #[test]
+    fn default_is_fixed() {
+        assert_eq!(IsaMode::default(), IsaMode::Fixed4);
+    }
+}

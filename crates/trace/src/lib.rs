@@ -1,0 +1,97 @@
+//! # dcfb-trace
+//!
+//! Instruction, address, and trace model for the Divide-and-Conquer
+//! Frontend Bottleneck (DCFB) reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Addr`] / [`Block`] — byte addresses and cache-block numbers,
+//! * [`Instr`] / [`InstrKind`] — one *dynamic* (executed) instruction,
+//! * [`StaticInstr`] / [`StaticKind`] — one *static* instruction as seen
+//!   by a pre-decoder looking at the bytes of a cache block,
+//! * [`CodeMemory`] — the interface a pre-decoder uses to inspect the
+//!   contents of an instruction block,
+//! * [`InstrStream`] — a (possibly lazily generated) dynamic instruction
+//!   trace,
+//! * [`IsaMode`] — fixed-length (SPARC-like, 4 B) vs. variable-length
+//!   (x86-like, 1–15 B) instruction encodings.
+//!
+//! The paper's prefetchers never look at raw instruction bytes; they only
+//! need block addresses, intra-block instruction/byte offsets, branch
+//! kinds, and branch targets. These types capture exactly that surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod instr;
+pub mod isa;
+pub mod memory;
+pub mod stream;
+
+pub use file::{read_binary, read_text, write_binary, write_text};
+pub use instr::{Instr, InstrKind, StaticInstr, StaticKind};
+pub use isa::IsaMode;
+pub use memory::{CodeMemory, RecordedCode};
+pub use stream::{InstrStream, ReplayStream, StreamStats, VecTrace};
+
+/// A byte address in the simulated (virtual) address space.
+pub type Addr = u64;
+
+/// A cache-block number: [`Addr`] with the block-offset bits stripped.
+pub type Block = u64;
+
+/// Log2 of the cache-block size used throughout the workspace (64 B).
+pub const BLOCK_BITS: u32 = 6;
+
+/// Cache-block size in bytes (64 B, as in the paper's Table III).
+pub const BLOCK_BYTES: u64 = 1 << BLOCK_BITS;
+
+/// Returns the block number containing byte address `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use dcfb_trace::{block_of, BLOCK_BYTES};
+/// assert_eq!(block_of(0), 0);
+/// assert_eq!(block_of(BLOCK_BYTES - 1), 0);
+/// assert_eq!(block_of(BLOCK_BYTES), 1);
+/// ```
+#[inline]
+pub fn block_of(addr: Addr) -> Block {
+    addr >> BLOCK_BITS
+}
+
+/// Returns the first byte address of block `block`.
+#[inline]
+pub fn block_base(block: Block) -> Addr {
+    block << BLOCK_BITS
+}
+
+/// Returns the byte offset of `addr` within its cache block (`0..64`).
+#[inline]
+pub fn block_offset(addr: Addr) -> u32 {
+    (addr & (BLOCK_BYTES - 1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_helpers_roundtrip() {
+        for addr in [0u64, 1, 63, 64, 65, 4096, 0xdead_beef] {
+            let b = block_of(addr);
+            assert!(block_base(b) <= addr);
+            assert!(addr < block_base(b) + BLOCK_BYTES);
+            assert_eq!(block_base(b) + u64::from(block_offset(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn block_constants_consistent() {
+        assert_eq!(BLOCK_BYTES, 64);
+        assert_eq!(1u64 << BLOCK_BITS, BLOCK_BYTES);
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`CodeMemory`] abstraction: what a pre-decoder can see.
+//!
+//! Pre-decoding is central to the paper: the Dis prefetcher recovers
+//! discontinuity targets by decoding the branch at a recorded offset, and
+//! the BTB prefetcher decodes whole blocks to prefill a BTB prefetch
+//! buffer. In silicon the pre-decoder reads the block's bytes; in this
+//! reproduction it queries the workload's program image through this
+//! trait.
+
+use crate::{Block, StaticInstr};
+
+/// Read-only access to the static instructions of the simulated program.
+///
+/// Implemented by `dcfb-workloads`' program image. Consumers (the
+/// pre-decoder in `dcfb-frontend`) must treat the result as the exact
+/// content of the named 64-byte block.
+pub trait CodeMemory {
+    /// Returns every instruction whose first byte lies in `block`, in
+    /// ascending address order. Returns an empty vector for blocks that
+    /// hold no code (data, padding, unmapped).
+    fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr>;
+
+    /// Returns `true` if `block` contains at least one instruction.
+    fn is_code_block(&self, block: Block) -> bool {
+        !self.instrs_in_block(block).is_empty()
+    }
+}
+
+impl<T: CodeMemory + ?Sized> CodeMemory for &T {
+    fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr> {
+        (**self).instrs_in_block(block)
+    }
+}
+
+impl<T: CodeMemory + ?Sized> CodeMemory for Box<T> {
+    fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr> {
+        (**self).instrs_in_block(block)
+    }
+}
+
+impl<T: CodeMemory + ?Sized> CodeMemory for std::sync::Arc<T> {
+    fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr> {
+        (**self).instrs_in_block(block)
+    }
+}
+
+/// A [`CodeMemory`] reconstructed from an *observed* instruction trace.
+///
+/// When the simulator replays an external trace (no program image is
+/// available), the pre-decoder still needs to see the static
+/// instructions of a block. This adapter rebuilds that view from the
+/// dynamic stream: every distinct pc that appears in the trace becomes
+/// a static instruction, with direct-branch targets taken from the
+/// observed resolved targets. Blocks the trace never executed decode as
+/// empty — exactly what a pre-decoder warmed only by execution would
+/// know, and a conservative under-approximation for prefetchers.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedCode {
+    blocks: std::collections::HashMap<Block, Vec<StaticInstr>>,
+}
+
+impl RecordedCode {
+    /// Creates an empty recording.
+    pub fn new() -> Self {
+        RecordedCode::default()
+    }
+
+    /// Builds a recording from a slice of dynamic instructions.
+    pub fn from_trace(instrs: &[crate::Instr]) -> Self {
+        let mut rec = RecordedCode::new();
+        for i in instrs {
+            rec.observe(i);
+        }
+        rec
+    }
+
+    /// Incorporates one dynamic instruction (idempotent per pc).
+    pub fn observe(&mut self, i: &crate::Instr) {
+        let block = crate::block_of(i.pc);
+        let list = self.blocks.entry(block).or_default();
+        match list.binary_search_by_key(&i.pc, |s| s.pc) {
+            Ok(_) => {} // already recorded
+            Err(pos) => {
+                let kind = i.kind.static_kind();
+                let target = kind.target_in_encoding().then_some(i.target);
+                list.insert(
+                    pos,
+                    StaticInstr {
+                        pc: i.pc,
+                        size: i.size,
+                        kind,
+                        target,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of distinct blocks observed.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of distinct instructions observed.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.values().map(Vec::len).sum()
+    }
+}
+
+impl CodeMemory for RecordedCode {
+    fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr> {
+        self.blocks.get(&block).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_base, StaticKind};
+
+    /// A toy code memory with one 4-byte instruction per 16 bytes.
+    struct Toy;
+
+    impl CodeMemory for Toy {
+        fn instrs_in_block(&self, block: Block) -> Vec<StaticInstr> {
+            if block >= 8 {
+                return Vec::new();
+            }
+            (0..4)
+                .map(|i| StaticInstr {
+                    pc: block_base(block) + i * 16,
+                    size: 4,
+                    kind: StaticKind::Other,
+                    target: None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn default_is_code_block_uses_instrs() {
+        let toy = Toy;
+        assert!(toy.is_code_block(0));
+        assert!(!toy.is_code_block(8));
+    }
+
+    #[test]
+    fn recorded_code_reconstructs_blocks() {
+        use crate::{Instr, InstrKind};
+        let trace = vec![
+            Instr::other(0x1000, 4),
+            Instr::branch(0x1004, 4, InstrKind::CondBranch { taken: true }, 0x2000),
+            Instr::other(0x2000, 4),
+            Instr::branch(0x2004, 4, InstrKind::IndirectCall, 0x3000),
+            // Re-execution of the same pcs must not duplicate.
+            Instr::other(0x1000, 4),
+            Instr::branch(0x1004, 4, InstrKind::CondBranch { taken: false }, 0x2000),
+        ];
+        let rec = RecordedCode::from_trace(&trace);
+        assert_eq!(rec.block_count(), 2);
+        assert_eq!(rec.instr_count(), 4);
+        let b = rec.instrs_in_block(crate::block_of(0x1000));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].pc, 0x1000);
+        assert_eq!(b[1].kind, StaticKind::CondBranch);
+        assert_eq!(b[1].target, Some(0x2000));
+        // Indirect targets are NOT in the encoding.
+        let b2 = rec.instrs_in_block(crate::block_of(0x2004));
+        let call = b2.iter().find(|s| s.pc == 0x2004).unwrap();
+        assert_eq!(call.kind, StaticKind::IndirectCall);
+        assert_eq!(call.target, None);
+        // Unseen blocks decode empty.
+        assert!(rec.instrs_in_block(0xdead).is_empty());
+    }
+
+    #[test]
+    fn recorded_code_keeps_instrs_sorted() {
+        use crate::Instr;
+        let mut rec = RecordedCode::new();
+        rec.observe(&Instr::other(0x1008, 4));
+        rec.observe(&Instr::other(0x1000, 4));
+        rec.observe(&Instr::other(0x1004, 4));
+        let b = rec.instrs_in_block(crate::block_of(0x1000));
+        let pcs: Vec<u64> = b.iter().map(|s| s.pc).collect();
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x1008]);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let toy = Toy;
+        let by_ref: &dyn CodeMemory = &toy;
+        assert_eq!(by_ref.instrs_in_block(1).len(), 4);
+        let boxed: Box<dyn CodeMemory> = Box::new(Toy);
+        assert_eq!(boxed.instrs_in_block(2).len(), 4);
+        assert!(boxed.is_code_block(2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Dynamic instruction streams (traces) and replay utilities.
+
+use crate::{Instr, InstrKind};
+
+/// A source of dynamic (correct-path) instructions.
+///
+/// Implementations may hold a pre-recorded trace ([`VecTrace`]) or
+/// synthesize instructions lazily (the workload generator). Streams are
+/// deterministic: two streams constructed identically yield identical
+/// instruction sequences.
+pub trait InstrStream {
+    /// Returns the next retired instruction, or `None` when the trace is
+    /// exhausted.
+    fn next_instr(&mut self) -> Option<Instr>;
+}
+
+impl<T: InstrStream + ?Sized> InstrStream for &mut T {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+}
+
+impl<T: InstrStream + ?Sized> InstrStream for Box<T> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+}
+
+/// An in-memory, replayable trace.
+#[derive(Clone, Debug, Default)]
+pub struct VecTrace {
+    instrs: Vec<Instr>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Creates a trace over `instrs`, positioned at the start.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        VecTrace { instrs, pos: 0 }
+    }
+
+    /// Collects up to `limit` instructions from `stream` into a trace.
+    pub fn capture<S: InstrStream>(stream: &mut S, limit: usize) -> Self {
+        let mut instrs = Vec::with_capacity(limit.min(1 << 20));
+        while instrs.len() < limit {
+            match stream.next_instr() {
+                Some(i) => instrs.push(i),
+                None => break,
+            }
+        }
+        VecTrace::new(instrs)
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the trace holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The underlying instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Rewinds the replay cursor to the start.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Returns a fresh replay cursor over this trace without cloning the
+    /// instruction storage.
+    pub fn replay(&self) -> ReplayStream<'_> {
+        ReplayStream {
+            instrs: &self.instrs,
+            pos: 0,
+        }
+    }
+}
+
+impl InstrStream for VecTrace {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+}
+
+/// A borrowing replay cursor over a [`VecTrace`].
+#[derive(Clone, Debug)]
+pub struct ReplayStream<'a> {
+    instrs: &'a [Instr],
+    pos: usize,
+}
+
+impl InstrStream for ReplayStream<'_> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+}
+
+/// Summary statistics over a trace, used by workload-calibration tests
+/// and the figure binaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Total dynamic instructions.
+    pub instrs: u64,
+    /// Dynamic conditional branches.
+    pub cond_branches: u64,
+    /// Taken dynamic conditional branches.
+    pub cond_taken: u64,
+    /// Dynamic unconditional branches (jumps, calls, returns, indirects).
+    pub uncond_branches: u64,
+    /// Dynamic calls (direct + indirect).
+    pub calls: u64,
+    /// Dynamic returns.
+    pub returns: u64,
+    /// Number of distinct 64-byte blocks touched (instruction footprint
+    /// in blocks).
+    pub footprint_blocks: u64,
+    /// Number of control-flow redirects (taken branches of any kind).
+    pub redirects: u64,
+}
+
+impl StreamStats {
+    /// Computes statistics by draining `stream` (up to `limit`
+    /// instructions).
+    pub fn measure<S: InstrStream>(stream: &mut S, limit: u64) -> Self {
+        let mut stats = StreamStats::default();
+        let mut blocks = std::collections::HashSet::new();
+        while stats.instrs < limit {
+            let Some(i) = stream.next_instr() else { break };
+            stats.instrs += 1;
+            blocks.insert(i.block());
+            match i.kind {
+                InstrKind::Other => {}
+                InstrKind::CondBranch { taken } => {
+                    stats.cond_branches += 1;
+                    if taken {
+                        stats.cond_taken += 1;
+                    }
+                }
+                InstrKind::Jump | InstrKind::IndirectJump => stats.uncond_branches += 1,
+                InstrKind::Call | InstrKind::IndirectCall => {
+                    stats.uncond_branches += 1;
+                    stats.calls += 1;
+                }
+                InstrKind::Return => {
+                    stats.uncond_branches += 1;
+                    stats.returns += 1;
+                }
+            }
+            if i.redirects() {
+                stats.redirects += 1;
+            }
+        }
+        stats.footprint_blocks = blocks.len() as u64;
+        stats
+    }
+
+    /// Instruction footprint in kilobytes (64 B per block).
+    pub fn footprint_kib(&self) -> f64 {
+        self.footprint_blocks as f64 * 64.0 / 1024.0
+    }
+
+    /// Dynamic branch density: branches per instruction.
+    pub fn branch_density(&self) -> f64 {
+        if self.instrs == 0 {
+            return 0.0;
+        }
+        (self.cond_branches + self.uncond_branches) as f64 / self.instrs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    fn mini_trace() -> Vec<Instr> {
+        vec![
+            Instr::other(0x1000, 4),
+            Instr::other(0x1004, 4),
+            Instr::branch(0x1008, 4, InstrKind::CondBranch { taken: true }, 0x2000),
+            Instr::other(0x2000, 4),
+            Instr::branch(0x2004, 4, InstrKind::Call, 0x3000),
+            Instr::other(0x3000, 4),
+            Instr::branch(0x3004, 4, InstrKind::Return, 0x2008),
+            Instr::other(0x2008, 4),
+        ]
+    }
+
+    #[test]
+    fn vec_trace_replays_in_order() {
+        let mut t = VecTrace::new(mini_trace());
+        let mut pcs = Vec::new();
+        while let Some(i) = t.next_instr() {
+            pcs.push(i.pc);
+        }
+        assert_eq!(
+            pcs,
+            vec![0x1000, 0x1004, 0x1008, 0x2000, 0x2004, 0x3000, 0x3004, 0x2008]
+        );
+        assert!(t.next_instr().is_none());
+        t.rewind();
+        assert_eq!(t.next_instr().unwrap().pc, 0x1000);
+    }
+
+    #[test]
+    fn replay_cursor_is_independent() {
+        let t = VecTrace::new(mini_trace());
+        let mut a = t.replay();
+        let mut b = t.replay();
+        assert_eq!(a.next_instr(), b.next_instr());
+        let _ = a.next_instr();
+        // `b` is unaffected by advancing `a`.
+        assert_eq!(b.next_instr().unwrap().pc, 0x1004);
+    }
+
+    #[test]
+    fn capture_respects_limit() {
+        let mut t = VecTrace::new(mini_trace());
+        let captured = VecTrace::capture(&mut t, 3);
+        assert_eq!(captured.len(), 3);
+        // Original stream continues from where capture stopped.
+        assert_eq!(t.next_instr().unwrap().pc, 0x2000);
+    }
+
+    #[test]
+    fn stats_count_kinds_and_footprint() {
+        let mut t = VecTrace::new(mini_trace());
+        let s = StreamStats::measure(&mut t, u64::MAX);
+        assert_eq!(s.instrs, 8);
+        assert_eq!(s.cond_branches, 1);
+        assert_eq!(s.cond_taken, 1);
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.uncond_branches, 2);
+        assert_eq!(s.redirects, 3);
+        // Blocks: 0x1000>>6=0x40, 0x2000>>6=0x80, 0x3000>>6=0xC0.
+        assert_eq!(s.footprint_blocks, 3);
+        assert!((s.branch_density() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_limit_truncates() {
+        let mut t = VecTrace::new(mini_trace());
+        let s = StreamStats::measure(&mut t, 2);
+        assert_eq!(s.instrs, 2);
+        assert_eq!(s.cond_branches, 0);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let mut t = VecTrace::default();
+        assert!(t.is_empty());
+        assert!(t.next_instr().is_none());
+        let s = StreamStats::measure(&mut t.replay(), 100);
+        assert_eq!(s, StreamStats::default());
+        assert_eq!(s.branch_density(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The trace walker: executes a [`ProgramImage`] to produce a dynamic
+//! instruction stream.
+//!
+//! The walker starts in the dispatcher (function 0), which indirect-calls
+//! a root handler per transaction; control flow then follows the image's
+//! terminators, with conditional directions and indirect-call targets
+//! drawn from a seeded RNG. Because the call graph is a DAG (see
+//! [`crate::image`]), the call stack is bounded and every `Call` is
+//! matched by exactly one `Return`.
+
+use crate::image::{ProgramImage, Terminator};
+use dcfb_trace::{Addr, Instr, InstrKind, InstrStream, StaticKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A deterministic, endless instruction stream over a program image.
+pub struct Walker {
+    image: Arc<ProgramImage>,
+    rng: SmallRng,
+    cur_fn: u32,
+    cur_bb: u32,
+    cur_instr: u32,
+    stack: Vec<(u32, u32)>, // (function, resume bb)
+    /// Remaining trips of the loop at (function, bb), when active.
+    loop_counts: std::collections::HashMap<(u32, u32), u32>,
+    emitted: u64,
+    transactions: u64,
+    max_depth_seen: usize,
+    #[cfg(debug_assertions)]
+    expected_pc: Option<Addr>,
+}
+
+impl Walker {
+    /// Creates a walker over `image` seeded with `seed`.
+    pub fn new(image: Arc<ProgramImage>, seed: u64) -> Self {
+        Walker {
+            image,
+            rng: SmallRng::seed_from_u64(seed ^ 0x00a1_7e57_0000_0001),
+            cur_fn: 0,
+            cur_bb: 0,
+            cur_instr: 0,
+            stack: Vec::with_capacity(64),
+            loop_counts: std::collections::HashMap::new(),
+            emitted: 0,
+            transactions: 0,
+            max_depth_seen: 0,
+            #[cfg(debug_assertions)]
+            expected_pc: None,
+        }
+    }
+
+    /// The image this walker executes.
+    pub fn image(&self) -> &Arc<ProgramImage> {
+        &self.image
+    }
+
+    /// Instructions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Completed dispatcher transactions (root handler invocations).
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Deepest call stack observed.
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    #[inline]
+    fn bb_start(&self, f: u32, bb: u32) -> Addr {
+        self.image.functions()[f as usize].blocks[bb as usize].start
+    }
+}
+
+/// Where the walker goes after emitting a block terminator.
+enum Next {
+    Stay,                 // advance within the block
+    Bb(u32),              // another bb of the same function
+    CallInto(u32),        // push frame, enter callee
+    Pop,                  // return to caller frame
+}
+
+impl InstrStream for Walker {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let image = Arc::clone(&self.image);
+        let func = &image.functions()[self.cur_fn as usize];
+        let bb = &func.blocks[self.cur_bb as usize];
+        let idx = (bb.first_instr + self.cur_instr) as usize;
+        let s = &image.instrs()[idx];
+        let is_last = self.cur_instr + 1 == bb.n_instrs;
+
+        let (out, next) = if !is_last {
+            debug_assert_eq!(s.kind, StaticKind::Other);
+            (Instr::other(s.pc, s.size), Next::Stay)
+        } else {
+            match &bb.term {
+                Terminator::FallThrough => {
+                    debug_assert_eq!(s.kind, StaticKind::Other);
+                    (Instr::other(s.pc, s.size), Next::Bb(self.cur_bb + 1))
+                }
+                Terminator::Cond { p_taken, taken_to } => {
+                    let taken = self.rng.gen_range(0.0..1.0) < *p_taken;
+                    let instr = Instr::branch(
+                        s.pc,
+                        s.size,
+                        InstrKind::CondBranch { taken },
+                        self.bb_start(self.cur_fn, *taken_to),
+                    );
+                    let next = if taken {
+                        Next::Bb(*taken_to)
+                    } else {
+                        Next::Bb(self.cur_bb + 1)
+                    };
+                    (instr, next)
+                }
+                Terminator::Loop { iters, taken_to } => {
+                    let key = (self.cur_fn, self.cur_bb);
+                    let remaining = self
+                        .loop_counts
+                        .entry(key)
+                        .or_insert(*iters);
+                    let taken = *remaining > 1;
+                    if taken {
+                        *remaining -= 1;
+                    } else {
+                        self.loop_counts.remove(&key);
+                    }
+                    let instr = Instr::branch(
+                        s.pc,
+                        s.size,
+                        InstrKind::CondBranch { taken },
+                        self.bb_start(self.cur_fn, *taken_to),
+                    );
+                    let next = if taken {
+                        Next::Bb(*taken_to)
+                    } else {
+                        Next::Bb(self.cur_bb + 1)
+                    };
+                    (instr, next)
+                }
+                Terminator::Jump { to } => (
+                    Instr::branch(
+                        s.pc,
+                        s.size,
+                        InstrKind::Jump,
+                        self.bb_start(self.cur_fn, *to),
+                    ),
+                    Next::Bb(*to),
+                ),
+                Terminator::Call { callee } => (
+                    Instr::branch(
+                        s.pc,
+                        s.size,
+                        InstrKind::Call,
+                        image.functions()[*callee as usize].entry,
+                    ),
+                    Next::CallInto(*callee),
+                ),
+                Terminator::IndirectCall {
+                    callees,
+                    cum_weights,
+                } => {
+                    let u: f64 = self.rng.gen_range(0.0..1.0);
+                    let pick = cum_weights
+                        .partition_point(|&c| c < u)
+                        .min(callees.len() - 1);
+                    let callee = callees[pick];
+                    (
+                        Instr::branch(
+                            s.pc,
+                            s.size,
+                            InstrKind::IndirectCall,
+                            image.functions()[callee as usize].entry,
+                        ),
+                        Next::CallInto(callee),
+                    )
+                }
+                Terminator::Return => {
+                    // Safety net (0, 0): never hit, the dispatcher never
+                    // returns.
+                    let (rf, rbb) = self.stack.last().copied().unwrap_or((0, 0));
+                    (
+                        Instr::branch(s.pc, s.size, InstrKind::Return, self.bb_start(rf, rbb)),
+                        Next::Pop,
+                    )
+                }
+            }
+        };
+
+        #[cfg(debug_assertions)]
+        {
+            if let Some(exp) = self.expected_pc {
+                debug_assert_eq!(exp, out.pc, "trace discontinuity at {:#x}", out.pc);
+            }
+            self.expected_pc = Some(out.next_pc());
+        }
+
+        match next {
+            Next::Stay => self.cur_instr += 1,
+            Next::Bb(b) => {
+                self.cur_bb = b;
+                self.cur_instr = 0;
+            }
+            Next::CallInto(callee) => {
+                self.stack.push((self.cur_fn, self.cur_bb + 1));
+                self.max_depth_seen = self.max_depth_seen.max(self.stack.len());
+                if self.cur_fn == 0 {
+                    self.transactions += 1;
+                }
+                self.cur_fn = callee;
+                self.cur_bb = 0;
+                self.cur_instr = 0;
+            }
+            Next::Pop => {
+                let (rf, rbb) = self.stack.pop().unwrap_or((0, 0));
+                self.cur_fn = rf;
+                self.cur_bb = rbb;
+                self.cur_instr = 0;
+            }
+        }
+
+        self.emitted += 1;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WorkloadParams;
+    use dcfb_trace::{IsaMode, StreamStats};
+
+    fn walker(seed: u64) -> Walker {
+        let params = WorkloadParams {
+            functions: 60,
+            root_functions: 8,
+            ..WorkloadParams::default()
+        };
+        let image = Arc::new(ProgramImage::build(&params, 11, IsaMode::Fixed4));
+        Walker::new(image, seed)
+    }
+
+    #[test]
+    fn trace_is_control_flow_consistent() {
+        let mut w = walker(1);
+        let mut prev: Option<Instr> = None;
+        for _ in 0..200_000 {
+            let i = w.next_instr().unwrap();
+            if let Some(p) = prev {
+                assert_eq!(p.next_pc(), i.pc, "discontinuity after {:#x}", p.pc);
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn walker_is_deterministic() {
+        let mut a = walker(5);
+        let mut b = walker(5);
+        for _ in 0..50_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = walker(1);
+        let mut b = walker(2);
+        let diverged = (0..50_000).any(|_| a.next_instr() != b.next_instr());
+        assert!(diverged);
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let mut w = walker(3);
+        let stats = StreamStats::measure(&mut w, 500_000);
+        assert!(stats.calls > 0);
+        assert!(stats.returns > 0);
+        // Calls and returns match within the residual open stack depth.
+        let open = stats.calls as i64 - stats.returns as i64;
+        assert!(open >= 0, "more returns than calls");
+        assert!(open <= w.max_depth_seen() as i64 + 1);
+    }
+
+    #[test]
+    fn stack_depth_is_bounded() {
+        let mut w = walker(4);
+        for _ in 0..500_000 {
+            w.next_instr();
+        }
+        assert!(
+            w.max_depth_seen() < 64,
+            "depth {} too deep",
+            w.max_depth_seen()
+        );
+        assert!(w.transactions() > 0, "no transactions completed");
+    }
+
+    #[test]
+    fn pcs_stay_inside_image() {
+        let mut w = walker(6);
+        let image = Arc::clone(w.image());
+        for _ in 0..100_000 {
+            let i = w.next_instr().unwrap();
+            assert!(i.pc >= crate::image::IMAGE_BASE);
+            assert!(i.pc < image.end());
+        }
+    }
+
+    #[test]
+    fn branch_mix_is_server_like() {
+        let mut w = walker(7);
+        let stats = StreamStats::measure(&mut w, 1_000_000);
+        let density = stats.branch_density();
+        // Server code: roughly 1 branch per 4-8 instructions.
+        assert!(
+            (0.05..0.35).contains(&density),
+            "branch density {density}"
+        );
+        // Conditionals are mostly biased-taken or not-taken, but both
+        // directions occur.
+        assert!(stats.cond_taken > 0);
+        assert!(stats.cond_taken < stats.cond_branches);
+    }
+
+    #[test]
+    fn footprint_touches_many_blocks() {
+        let mut w = walker(8);
+        let stats = StreamStats::measure(&mut w, 1_000_000);
+        assert!(
+            stats.footprint_blocks > 200,
+            "footprint {} blocks too small",
+            stats.footprint_blocks
+        );
+    }
+
+    #[test]
+    fn variable_isa_trace_is_consistent_too() {
+        let params = WorkloadParams {
+            functions: 40,
+            root_functions: 6,
+            ..WorkloadParams::default()
+        };
+        let image = Arc::new(ProgramImage::build(&params, 13, IsaMode::Variable));
+        let mut w = Walker::new(image, 9);
+        let mut prev: Option<Instr> = None;
+        for _ in 0..100_000 {
+            let i = w.next_instr().unwrap();
+            if let Some(p) = prev {
+                assert_eq!(p.next_pc(), i.pc);
+            }
+            prev = Some(i);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run the paper's SN4L+Dis+BTB prefetcher against the
+//! no-prefetcher baseline on one server workload.
+//!
+//! ```sh
+//! cargo run --release -p dcfb-examples --example quickstart
+//! ```
+
+use dcfb_sim::{run_workload, SimConfig};
+use dcfb_workloads::workload;
+
+fn main() {
+    // 1. Pick a calibrated synthetic server workload (Table IV).
+    let w = workload("Web (Apache)").expect("catalog workload");
+    println!("workload: {} (~{:.0} KiB of code)", w.name, w.params.approx_footprint_kib());
+
+    // 2. Configure the paper's full proposal. `for_method` knows every
+    //    evaluated configuration by its figure name.
+    let mut cfg = SimConfig::for_method("SN4L+Dis+BTB").expect("known method");
+    cfg.warmup_instrs = 500_000;
+    cfg.measure_instrs = 1_000_000;
+
+    // 3. Run it paired with the baseline (same image, same trace seed).
+    let result = run_workload(&w, cfg, /* trace seed */ 42);
+
+    let r = &result.report;
+    let b = &result.baseline;
+    println!("\n                      baseline    SN4L+Dis+BTB");
+    println!("IPC                   {:8.3}    {:8.3}", b.ipc(), r.ipc());
+    println!("L1i MPKI              {:8.1}    {:8.1}", b.l1i_mpki(), r.l1i_mpki());
+    println!(
+        "frontend stall frac   {:8.3}    {:8.3}",
+        b.frontend_stalls() as f64 / b.cycles as f64,
+        r.frontend_stalls() as f64 / r.cycles as f64,
+    );
+    println!("\nspeedup         : {:.2}x", result.speedup());
+    println!("miss coverage   : {:.1}%", result.coverage() * 100.0);
+    println!("FSCR            : {:.1}%", result.fscr() * 100.0);
+    println!("CMAL            : {:.1}%", r.cmal() * 100.0);
+    println!(
+        "metadata budget : {:.1} KB (paper: 7.6 KB)",
+        r.storage_bits as f64 / 8.0 / 1024.0
+    );
+}

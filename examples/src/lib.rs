@@ -1,0 +1,1 @@
+//! See the example binaries in this package.
