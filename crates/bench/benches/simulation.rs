@@ -29,7 +29,9 @@ fn bench_simulation(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut cfg = SimConfig::for_method(method).expect("method");
-                    cfg.warmup_instrs = 0;
+                    // Minimal warmup: we benchmark steady-state
+                    // throughput, but the config requires nonzero.
+                    cfg.warmup_instrs = 1;
                     cfg.measure_instrs = INSTRS;
                     (
                         Simulator::new(cfg, Arc::clone(&image)),

@@ -1,0 +1,369 @@
+//! Batch-run checkpointing for `all_experiments`.
+//!
+//! A [`Checkpoint`] is an ordered map from figure id to its rendered
+//! markdown, persisted as a flat JSON object of strings
+//! (`{"fig01": "…", …}`). Completed figures are saved after each one
+//! finishes; a later invocation with `DCFB_RESUME=1` loads the file and
+//! skips everything already present, so a batch killed halfway (or one
+//! with a crashing figure) does not redo hours of simulation.
+//!
+//! The format uses no external dependencies: the writer escapes the
+//! JSON string subset it needs, and the reader parses exactly that
+//! shape (an object whose keys and values are strings), rejecting
+//! anything else. Checkpoints written by a different build are safe to
+//! load — worst case the markdown is regenerated.
+
+use dcfb_errors::DcfbError;
+use std::path::{Path, PathBuf};
+
+/// Environment variable enabling resume from a checkpoint.
+pub const RESUME_ENV: &str = "DCFB_RESUME";
+
+/// Environment variable overriding the checkpoint file location.
+pub const CHECKPOINT_PATH_ENV: &str = "DCFB_CHECKPOINT";
+
+/// The default checkpoint location.
+pub const DEFAULT_CHECKPOINT_PATH: &str = "target/all_experiments.checkpoint.json";
+
+/// Completed (figure id → markdown) results of a batch run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    entries: Vec<(String, String)>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// The checkpoint path from the environment (or the default).
+    pub fn default_path() -> PathBuf {
+        std::env::var_os(CHECKPOINT_PATH_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_CHECKPOINT_PATH))
+    }
+
+    /// Whether `DCFB_RESUME=1` is set.
+    pub fn resume_requested() -> bool {
+        std::env::var(RESUME_ENV).is_ok_and(|v| v == "1")
+    }
+
+    /// Number of completed figures recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The markdown recorded for `id`, if that figure completed.
+    pub fn get(&self, id: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Records (or replaces) the markdown for `id`.
+    pub fn put(&mut self, id: &str, markdown: &str) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == id) {
+            slot.1 = markdown.to_owned();
+        } else {
+            self.entries.push((id.to_owned(), markdown.to_owned()));
+        }
+    }
+
+    /// Serializes to the flat JSON object format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str("  ");
+            escape_into(k, &mut out);
+            out.push_str(": ");
+            escape_into(v, &mut out);
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the flat JSON object format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfbError::Config`] naming the byte offset of the
+    /// first syntax problem.
+    pub fn from_json(text: &str) -> Result<Self, DcfbError> {
+        Parser::new(text).object()
+    }
+
+    /// Writes the checkpoint to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfbError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), DcfbError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| DcfbError::io(dir.display().to_string(), &e))?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+            .map_err(|e| DcfbError::io(path.display().to_string(), &e))
+    }
+
+    /// Loads a checkpoint from `path`. A missing file is an empty
+    /// checkpoint (nothing completed yet); a malformed one is an error,
+    /// not silently discarded progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfbError::Io`] on read failure (other than
+    /// not-found) and [`DcfbError::Config`] on malformed JSON.
+    pub fn load(path: &Path) -> Result<Self, DcfbError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Checkpoint::new());
+            }
+            Err(e) => return Err(DcfbError::io(path.display().to_string(), &e)),
+        };
+        Checkpoint::from_json(&text)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parser for exactly the object-of-strings subset this module
+/// writes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> DcfbError {
+        DcfbError::Config(format!(
+            "malformed checkpoint JSON at byte {}: {what}",
+            self.pos
+        ))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DcfbError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn object(&mut self) -> Result<Checkpoint, DcfbError> {
+        self.expect(b'{')?;
+        let mut cp = Checkpoint::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.string()?;
+                cp.put(&key, &value);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data"));
+        }
+        Ok(cp)
+    }
+
+    fn string(&mut self) -> Result<String, DcfbError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("bad \\u code point"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b => {
+                    // Re-decode UTF-8 continuation bytes as written.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_plain_and_tricky_strings() {
+        let mut cp = Checkpoint::new();
+        cp.put("fig01", "| a | b |\n|---|---|\n| 1 | 2 |\n");
+        cp.put("tab1", "quotes \" and \\ backslashes\tand tabs");
+        cp.put("fig02", "unicode: §VII-D — 88% ✓");
+        let json = cp.to_json();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn put_replaces_existing_entries() {
+        let mut cp = Checkpoint::new();
+        cp.put("fig01", "old");
+        cp.put("fig01", "new");
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.get("fig01"), Some("new"));
+        assert_eq!(cp.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        let cp = Checkpoint::new();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\": 1}",
+            "{\"a\": \"b\",}",
+            "{\"a\": \"b\"} trailing",
+            "[\"a\"]",
+            "{\"a\": \"unterminated}",
+        ] {
+            let err = Checkpoint::from_json(bad).unwrap_err();
+            assert!(
+                matches!(err, DcfbError::Config(_)),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "dcfb-checkpoint-test-{}",
+            std::process::id()
+        ));
+        let path = dir.join("nested/checkpoint.json");
+        let mut cp = Checkpoint::new();
+        cp.put("fig16", "## Fig 16\nspeedups\n");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back, cp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let cp = Checkpoint::load(Path::new("/nonexistent/dcfb/checkpoint.json")).unwrap();
+        assert!(cp.is_empty());
+    }
+}

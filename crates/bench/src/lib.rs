@@ -12,6 +12,7 @@
 //! * `DCFB_MEASURE` — measured instructions per run (default 2,000,000),
 //! * `DCFB_WORKLOADS` — restrict to the first N workloads (default all 7).
 
+pub mod checkpoint;
 pub mod figures;
 pub mod runs;
 pub mod table;

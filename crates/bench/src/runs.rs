@@ -1,20 +1,44 @@
 //! Shared run helpers: scaled configurations, image caching, and
 //! baseline caching, so regenerating all experiments stays fast.
 
+use dcfb_errors::{panic_message, DcfbError};
 use dcfb_sim::{SimConfig, SimReport, Simulator};
 use dcfb_trace::IsaMode;
 use dcfb_workloads::{all_workloads, ProgramImage, Walker, Workload};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The trace seed used by every experiment (determinism).
 pub const TRACE_SEED: u64 = 0xD0_5EED;
 
+/// Parses an environment value, reporting malformed input.
+///
+/// Returns the parsed value (or `default`) plus a warning message when
+/// `raw` was present but not a valid `u64`. Split from [`env_u64`] so
+/// the warning path is unit-testable without touching process state.
+fn parse_env_u64(name: &str, raw: Option<&str>, default: u64) -> (u64, Option<String>) {
+    match raw {
+        None => (default, None),
+        Some(v) => match v.parse() {
+            Ok(n) => (n, None),
+            Err(_) => (
+                default,
+                Some(format!(
+                    "warning: ignoring malformed {name}={v:?} (expected an unsigned integer); using default {default}"
+                )),
+            ),
+        },
+    }
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let raw = std::env::var(name).ok();
+    let (value, warning) = parse_env_u64(name, raw.as_deref(), default);
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    value
 }
 
 /// Warmup instructions per run (`DCFB_WARMUP`, default 1 M).
@@ -45,9 +69,38 @@ pub fn scaled(mut cfg: SimConfig) -> SimConfig {
 ///
 /// # Panics
 ///
-/// Panics on an unknown method name.
+/// Panics on an unknown method name; use [`try_method_config`] for
+/// untrusted names.
 pub fn method_config(name: &str) -> SimConfig {
     scaled(SimConfig::for_method(name).unwrap_or_else(|| panic!("unknown method {name}")))
+}
+
+/// Fallible [`method_config`]: reports unknown names as
+/// [`DcfbError::UnknownMethod`] with the valid list.
+pub fn try_method_config(name: &str) -> Result<SimConfig, DcfbError> {
+    SimConfig::for_method(name)
+        .map(scaled)
+        .ok_or_else(|| DcfbError::UnknownMethod {
+            name: name.to_owned(),
+            available: [
+                "Baseline",
+                "NL",
+                "N2L",
+                "N4L",
+                "N8L",
+                "SN4L",
+                "Dis",
+                "SN4L+Dis",
+                "SN4L+Dis+BTB",
+                "Discontinuity",
+                "Confluence",
+                "Boomerang",
+                "Shotgun",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        })
 }
 
 type ImageKey = (String, IsaMode);
@@ -57,17 +110,23 @@ fn image_cache() -> &'static Mutex<HashMap<ImageKey, Arc<ProgramImage>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Locks a cache mutex, recovering from poisoning: caches hold only
+/// completed values, so a panic elsewhere never leaves them torn.
+fn lock_cache<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// Builds (or fetches a cached) program image for `workload`.
 pub fn image_for(workload: &Workload, isa: IsaMode) -> Arc<ProgramImage> {
     let key = (workload.name.to_owned(), isa);
-    if let Some(img) = image_cache().lock().unwrap().get(&key) {
+    if let Some(img) = lock_cache(image_cache()).get(&key) {
         return Arc::clone(img);
     }
     let img = workload.image(isa);
-    image_cache()
-        .lock()
-        .unwrap()
-        .insert(key, Arc::clone(&img));
+    lock_cache(image_cache()).insert(key, Arc::clone(&img));
     img
 }
 
@@ -93,23 +152,187 @@ pub fn baseline(workload: &Workload) -> SimReport {
         warmup_instrs(),
         measure_instrs()
     );
-    if let Some(r) = baseline_cache().lock().unwrap().get(&key) {
+    if let Some(r) = lock_cache(baseline_cache()).get(&key) {
         return r.clone();
     }
     let r = run(workload, method_config("Baseline"));
-    baseline_cache().lock().unwrap().insert(key, r.clone());
+    lock_cache(baseline_cache()).insert(key, r.clone());
     r
+}
+
+/// How one crash-isolated run ended.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The simulation completed and produced a report.
+    Ok(SimReport),
+    /// The run failed (panicked twice, or the config was rejected).
+    Failed(DcfbError),
+}
+
+impl RunOutcome {
+    /// The report, if the run succeeded.
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// One crash-isolated (workload, method) run and how it went.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Method name.
+    pub method: String,
+    /// What happened.
+    pub outcome: RunOutcome,
+    /// Whether the run only succeeded on the reduced-scale retry.
+    pub retried: bool,
+}
+
+fn failure_registry() -> &'static Mutex<Vec<RunRecord>> {
+    static REG: OnceLock<Mutex<Vec<RunRecord>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains every failure recorded by [`run_isolated`] in this process.
+pub fn take_failures() -> Vec<RunRecord> {
+    match failure_registry().lock() {
+        Ok(mut reg) => std::mem::take(&mut *reg),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
+}
+
+fn record_failure(rec: RunRecord) {
+    match failure_registry().lock() {
+        Ok(mut reg) => reg.push(rec),
+        Err(poisoned) => poisoned.into_inner().push(rec),
+    }
+}
+
+fn catch_run<F>(runner: &F, workload: &Workload, cfg: SimConfig) -> Result<SimReport, String>
+where
+    F: Fn(&Workload, SimConfig) -> SimReport,
+{
+    catch_unwind(AssertUnwindSafe(|| runner(workload, cfg)))
+        .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Runs `method` on `workload` with crash isolation: a panicking
+/// simulation is caught, retried once at reduced scale (¼ warmup and
+/// measure), and — if it dies again — recorded as
+/// [`RunOutcome::Failed`] in the process-wide failure registry instead
+/// of taking the batch down.
+pub fn run_isolated(workload: &Workload, method: &str) -> RunRecord {
+    run_isolated_with(workload, method, |w, cfg| run(w, cfg))
+}
+
+/// [`run_isolated`] with an injectable runner, so tests can exercise
+/// the catch/retry/record machinery with deterministic failures.
+fn run_isolated_with<F>(workload: &Workload, method: &str, runner: F) -> RunRecord
+where
+    F: Fn(&Workload, SimConfig) -> SimReport,
+{
+    let cfg = match try_method_config(method) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            let rec = RunRecord {
+                workload: workload.name.to_owned(),
+                method: method.to_owned(),
+                outcome: RunOutcome::Failed(e),
+                retried: false,
+            };
+            record_failure(rec.clone());
+            return rec;
+        }
+    };
+    match catch_run(&runner, workload, cfg.clone()) {
+        Ok(report) => RunRecord {
+            workload: workload.name.to_owned(),
+            method: method.to_owned(),
+            outcome: RunOutcome::Ok(report),
+            retried: false,
+        },
+        Err(first_msg) => {
+            // Retry once at reduced scale: a panic from a scale-induced
+            // resource blowup may pass in a smaller window.
+            let mut retry_cfg = cfg;
+            retry_cfg.warmup_instrs = (retry_cfg.warmup_instrs / 4).max(1);
+            retry_cfg.measure_instrs = (retry_cfg.measure_instrs / 4).max(1);
+            eprintln!(
+                "warning: run {method} on {} panicked ({first_msg}); retrying at reduced scale",
+                workload.name
+            );
+            match catch_run(&runner, workload, retry_cfg) {
+                Ok(report) => RunRecord {
+                    workload: workload.name.to_owned(),
+                    method: method.to_owned(),
+                    outcome: RunOutcome::Ok(report),
+                    retried: true,
+                },
+                Err(second_msg) => {
+                    let rec = RunRecord {
+                        workload: workload.name.to_owned(),
+                        method: method.to_owned(),
+                        outcome: RunOutcome::Failed(DcfbError::Run {
+                            workload: workload.name.to_owned(),
+                            method: method.to_owned(),
+                            message: format!(
+                                "panicked at full scale ({first_msg}) and at reduced scale ({second_msg})"
+                            ),
+                        }),
+                        retried: true,
+                    };
+                    record_failure(rec.clone());
+                    rec
+                }
+            }
+        }
+    }
 }
 
 /// Runs a named method on every workload, yielding
 /// `(workload, report, baseline)` triples.
+///
+/// Each run is crash-isolated via [`run_isolated`]: a run that fails
+/// (even after its reduced-scale retry) is dropped from the result and
+/// recorded in the failure registry ([`take_failures`]), so one broken
+/// (workload, method) pair cannot take down a whole figure sweep.
 pub fn run_method_all(method: &str) -> Vec<(Workload, SimReport, SimReport)> {
     workloads()
         .into_iter()
-        .map(|w| {
-            let base = baseline(&w);
-            let rep = run(&w, method_config(method));
-            (w, rep, base)
+        .filter_map(|w| {
+            // The baseline is crash-isolated too: a dead baseline drops
+            // this workload from the sweep, not the whole batch.
+            let wb = w.clone();
+            let base = match catch_unwind(AssertUnwindSafe(move || baseline(&wb))) {
+                Ok(base) => base,
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    record_failure(RunRecord {
+                        workload: w.name.to_owned(),
+                        method: "Baseline".to_owned(),
+                        outcome: RunOutcome::Failed(DcfbError::Run {
+                            workload: w.name.to_owned(),
+                            method: "Baseline".to_owned(),
+                            message: msg.clone(),
+                        }),
+                        retried: false,
+                    });
+                    eprintln!("warning: dropping workload {}: baseline panicked ({msg})", w.name);
+                    return None;
+                }
+            };
+            let rec = run_isolated(&w, method);
+            match rec.outcome {
+                RunOutcome::Ok(rep) => Some((w, rep, base)),
+                RunOutcome::Failed(ref e) => {
+                    eprintln!("warning: dropping {method} on {}: {e}", w.name);
+                    None
+                }
+            }
         })
         .collect()
 }
@@ -123,6 +346,105 @@ mod tests {
         assert!(warmup_instrs() >= 1);
         assert!(measure_instrs() >= 1);
         assert!(!workloads().is_empty());
+    }
+
+    #[test]
+    fn malformed_env_values_warn_and_fall_back() {
+        // Valid value parses, no warning.
+        let (v, warn) = parse_env_u64("DCFB_TEST", Some("42"), 7);
+        assert_eq!(v, 42);
+        assert!(warn.is_none());
+        // Absent value: default, no warning.
+        let (v, warn) = parse_env_u64("DCFB_TEST", None, 7);
+        assert_eq!(v, 7);
+        assert!(warn.is_none());
+        // Malformed values: default, one-line warning naming the var.
+        for bad in ["2M", "-1", "1e6", "", "0x10"] {
+            let (v, warn) = parse_env_u64("DCFB_TEST", Some(bad), 7);
+            assert_eq!(v, 7, "{bad:?}");
+            let w = warn.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(w.contains("DCFB_TEST"), "{w}");
+            assert!(w.contains("warning"), "{w}");
+            assert!(!w.contains('\n'), "{w}");
+        }
+        // End-to-end through the process environment.
+        std::env::set_var("DCFB_TEST_MALFORMED_U64", "not-a-number");
+        assert_eq!(env_u64("DCFB_TEST_MALFORMED_U64", 13), 13);
+        std::env::remove_var("DCFB_TEST_MALFORMED_U64");
+    }
+
+    #[test]
+    fn unknown_method_is_a_typed_error() {
+        let err = try_method_config("Bogus").unwrap_err();
+        match err {
+            DcfbError::UnknownMethod { name, available } => {
+                assert_eq!(name, "Bogus");
+                assert!(available.contains(&"Shotgun".to_owned()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(try_method_config("Baseline").is_ok());
+    }
+
+    /// Serializes the tests touching the process-wide failure registry.
+    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = lock_cache(LOCK.get_or_init(|| Mutex::new(())));
+        let _ = take_failures(); // start from a clean registry
+        guard
+    }
+
+    #[test]
+    fn run_isolated_records_unknown_method_failure() {
+        let _guard = registry_lock();
+        let w = workloads()[0].clone();
+        let rec = run_isolated(&w, "NoSuchMethod");
+        assert!(matches!(
+            rec.outcome,
+            RunOutcome::Failed(DcfbError::UnknownMethod { .. })
+        ));
+        let failures = take_failures();
+        assert!(failures
+            .iter()
+            .any(|f| f.method == "NoSuchMethod" && f.workload == w.name));
+    }
+
+    #[test]
+    fn run_isolated_retries_at_reduced_scale() {
+        let _guard = registry_lock();
+        let w = workloads()[0].clone();
+        let full_measure = measure_instrs();
+        // Panics at full scale, succeeds once the retry shrinks the
+        // window — mimicking a scale-induced resource blowup.
+        let rec = run_isolated_with(&w, "Baseline", |_, cfg| {
+            assert!(cfg.measure_instrs >= 1);
+            if cfg.measure_instrs >= full_measure {
+                panic!("injected fault: too big");
+            }
+            SimReport::default()
+        });
+        assert!(rec.retried);
+        assert!(matches!(rec.outcome, RunOutcome::Ok(_)));
+        assert!(take_failures().is_empty(), "a recovered run is not a failure");
+    }
+
+    #[test]
+    fn run_isolated_survives_double_panic() {
+        let _guard = registry_lock();
+        let w = workloads()[0].clone();
+        let rec = run_isolated_with(&w, "Baseline", |_, _| -> SimReport {
+            panic!("injected fault: always")
+        });
+        assert!(rec.retried);
+        match &rec.outcome {
+            RunOutcome::Failed(DcfbError::Run { message, .. }) => {
+                assert!(message.contains("injected fault"), "{message}");
+                assert!(message.contains("reduced scale"), "{message}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let failures = take_failures();
+        assert!(failures.iter().any(|f| f.method == "Baseline" && f.retried));
     }
 
     #[test]

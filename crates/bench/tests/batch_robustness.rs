@@ -1,0 +1,69 @@
+//! End-to-end crash isolation + resume for the `all_experiments`
+//! batch binary: a run with an injected figure panic must complete,
+//! write a failure summary, and exit with the run-failure code; a
+//! second invocation with `DCFB_RESUME=1` must skip every checkpointed
+//! figure and regenerate only the failed one.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scaled_cmd(checkpoint: &std::path::Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_all_experiments"));
+    cmd.env("DCFB_WARMUP", "2000")
+        .env("DCFB_MEASURE", "3000")
+        .env("DCFB_WORKLOADS", "1")
+        .env("DCFB_CHECKPOINT", checkpoint)
+        .env_remove("DCFB_RESUME")
+        .env_remove("DCFB_FAIL_FIGURE");
+    cmd
+}
+
+#[test]
+fn injected_figure_panic_is_summarized_and_resumable() {
+    let dir = std::env::temp_dir().join(format!("dcfb-batch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint: PathBuf = dir.join("checkpoint.json");
+
+    // First run: fig13 dies. The batch must still complete every other
+    // figure, print a failure summary, and exit 4.
+    let out = scaled_cmd(&checkpoint)
+        .env("DCFB_FAIL_FIGURE", "fig13")
+        .output()
+        .expect("spawn all_experiments");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "expected run-failure exit code\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("## Failure summary"), "{stdout}");
+    assert!(stdout.contains("fig13"), "{stdout}");
+    assert!(stdout.contains("injected fault"), "{stdout}");
+    // The batch kept going past the failure.
+    assert!(stderr.contains("[fig13] FAILED"), "{stderr}");
+    assert!(stderr.contains("[fig16] regenerated"), "{stderr}");
+    // Completed figures were checkpointed; the failed one was not.
+    let ckpt = std::fs::read_to_string(&checkpoint).unwrap();
+    assert!(ckpt.contains("\"fig16\""), "{ckpt}");
+    assert!(!ckpt.contains("\"fig13\""), "{ckpt}");
+
+    // Second run: resume. Checkpointed figures are skipped, only fig13
+    // is regenerated, and the batch succeeds.
+    let out = scaled_cmd(&checkpoint)
+        .env("DCFB_RESUME", "1")
+        .output()
+        .expect("spawn all_experiments (resume)");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("resuming from"), "{stderr}");
+    assert!(stderr.contains("[fig16] skipped (checkpoint)"), "{stderr}");
+    assert!(stderr.contains("[fig13] regenerated"), "{stderr}");
+    assert!(!stdout.contains("## Failure summary"), "{stdout}");
+    // The resumed document still contains every figure's table.
+    assert!(stdout.contains("Fig. 16") || stdout.contains("fig16") || stdout.contains("Speedup"),
+        "resumed document looks incomplete: {stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

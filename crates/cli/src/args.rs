@@ -1,5 +1,6 @@
 //! Minimal dependency-free argument parsing.
 
+use dcfb_errors::DcfbError;
 use dcfb_trace::IsaMode;
 
 /// Usage text shown on `help` and argument errors.
@@ -31,6 +32,9 @@ OPTIONS:
     --out <FILE>         Output path for `record`
     --trace <FILE>       Input path for `replay`
     --format <binary|text>  Trace format for `record` (default binary)
+    --lenient            For `replay`: salvage the valid prefix of a
+                         damaged trace instead of failing (default is
+                         strict: any corruption is an error, exit 3)
 ";
 
 /// Parsed command line.
@@ -60,6 +64,8 @@ pub struct Cli {
     pub trace: Option<String>,
     /// `--format` for `record`: `"binary"` or `"text"`.
     pub format: String,
+    /// `--lenient` for `replay`: salvage damaged traces.
+    pub lenient: bool,
 }
 
 impl Cli {
@@ -88,6 +94,7 @@ impl Cli {
             out: None,
             trace: None,
             format: "binary".to_owned(),
+            lenient: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -129,6 +136,7 @@ impl Cli {
                     };
                 }
                 "--json" => cli.json = true,
+                "--lenient" => cli.lenient = true,
                 "--out" => cli.out = Some(value("--out")?),
                 "--trace" => cli.trace = Some(value("--trace")?),
                 "--format" => {
@@ -143,25 +151,35 @@ impl Cli {
         Ok(cli)
     }
 
-    /// The workload, or exit with a helpful message.
-    pub fn require_workload(&self) -> dcfb_workloads::Workload {
-        let Some(name) = &self.workload else {
-            eprintln!("error: --workload is required for this command");
-            eprintln!("available: {:?}", dcfb_workloads::workload_names());
-            std::process::exit(2);
+    /// The workload, as a typed error when missing or unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`DcfbError::Usage`] when `--workload` was not given (exit 2),
+    /// [`DcfbError::UnknownWorkload`] for an unrecognized name
+    /// (exit 3).
+    pub fn require_workload(&self) -> Result<dcfb_workloads::Workload, DcfbError> {
+        let names = || {
+            dcfb_workloads::workload_names()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>()
         };
-        match dcfb_workloads::workload(name) {
-            Some(w) => w,
-            None => {
-                eprintln!("error: unknown workload {name:?}");
-                eprintln!("available: {:?}", dcfb_workloads::workload_names());
-                std::process::exit(2);
-            }
-        }
+        let Some(name) = &self.workload else {
+            return Err(DcfbError::Usage(format!(
+                "--workload is required for this command; available: {:?}",
+                names()
+            )));
+        };
+        dcfb_workloads::workload(name).ok_or_else(|| DcfbError::UnknownWorkload {
+            name: name.clone(),
+            available: names(),
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

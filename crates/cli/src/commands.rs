@@ -1,12 +1,17 @@
 //! The CLI subcommands.
+//!
+//! Every command returns `Result<(), DcfbError>`; `main` maps the
+//! error onto the documented exit codes. No command calls
+//! `std::process::exit` or panics on bad input.
 
 use crate::args::Cli;
 use crate::json::JsonObject;
 use dcfb_cache::CacheConfig;
+use dcfb_errors::DcfbError;
 use dcfb_frontend::ShotgunBtbConfig;
-use dcfb_sim::{analysis, run_config, PrefetcherKind, SimConfig, SimReport};
 use dcfb_sim::Simulator;
-use dcfb_trace::{CodeMemory, InstrStream, IsaMode, RecordedCode, VecTrace};
+use dcfb_sim::{analysis, run_config, PrefetcherKind, SimConfig, SimReport};
+use dcfb_trace::{CodeMemory, InstrStream, IsaMode, ReadMode, RecordedCode, VecTrace};
 use dcfb_workloads::{all_workloads, Walker};
 use std::sync::Arc;
 
@@ -26,11 +31,12 @@ const METHODS: [&str; 13] = [
     "Confluence",
 ];
 
-fn config_for(cli: &Cli, method: &str) -> SimConfig {
+fn config_for(cli: &Cli, method: &str) -> Result<SimConfig, DcfbError> {
     let Some(mut cfg) = SimConfig::for_method(method) else {
-        eprintln!("error: unknown method {method:?}");
-        eprintln!("available: {METHODS:?}");
-        std::process::exit(2);
+        return Err(DcfbError::UnknownMethod {
+            name: method.to_owned(),
+            available: METHODS.iter().map(|s| (*s).to_owned()).collect(),
+        });
     };
     cfg.warmup_instrs = cli.warmup;
     cfg.measure_instrs = cli.measure;
@@ -39,7 +45,8 @@ fn config_for(cli: &Cli, method: &str) -> SimConfig {
         // Branch footprints need somewhere to live (§V-D).
         cfg.uncore.dvllc = true;
     }
-    cfg
+    cfg.validate()?;
+    Ok(cfg)
 }
 
 /// `dcfb list`
@@ -60,30 +67,31 @@ pub fn list() {
 }
 
 /// `dcfb run`
-pub fn run(cli: &Cli) {
-    let w = cli.require_workload();
-    let cfg = config_for(cli, &cli.method);
-    let base_cfg = config_for(cli, "Baseline");
+pub fn run(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
+    let cfg = config_for(cli, &cli.method)?;
+    let base_cfg = config_for(cli, "Baseline")?;
     let base = run_config(&w, base_cfg, cli.seed);
     let r = run_config(&w, cfg, cli.seed);
     if cli.json {
         println!("{}", report_json(&r, Some(&base)).render());
-        return;
+        return Ok(());
     }
     print_report(&r, &base);
+    Ok(())
 }
 
 /// `dcfb compare`
-pub fn compare(cli: &Cli) {
-    let w = cli.require_workload();
-    let base = run_config(&w, config_for(cli, "Baseline"), cli.seed);
+pub fn compare(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
+    let base = run_config(&w, config_for(cli, "Baseline")?, cli.seed);
     println!("workload: {} | baseline IPC {:.3}\n", w.name, base.ipc());
     println!(
         "{:14} {:>7} {:>8} {:>9} {:>9} {:>9}",
         "method", "IPC", "speedup", "coverage", "FSCR", "lookups"
     );
     for m in &cli.methods {
-        let r = run_config(&w, config_for(cli, m), cli.seed);
+        let r = run_config(&w, config_for(cli, m)?, cli.seed);
         println!(
             "{:14} {:7.3} {:7.2}x {:8.1}% {:8.1}% {:8.2}x",
             m,
@@ -94,15 +102,20 @@ pub fn compare(cli: &Cli) {
             r.lookups_over(&base),
         );
     }
+    Ok(())
 }
 
 /// `dcfb analyze`
-pub fn analyze(cli: &Cli) {
-    let w = cli.require_workload();
+pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
     let image = w.image(cli.isa);
     let (cond, uncond, indirect, rets) = image.branch_census();
     println!("workload: {}", w.name);
-    println!("  code            : {} KiB in {} blocks", image.code_bytes() / 1024, image.code_blocks());
+    println!(
+        "  code            : {} KiB in {} blocks",
+        image.code_bytes() / 1024,
+        image.code_blocks()
+    );
     println!("  branch sites    : {cond} cond / {uncond} uncond / {indirect} indirect / {rets} ret");
 
     let limit = cli.measure;
@@ -127,21 +140,22 @@ pub fn analyze(cli: &Cli) {
             unc * 100.0
         );
     }
+    Ok(())
 }
 
 /// `dcfb sweep-btb`
-pub fn sweep_btb(cli: &Cli) {
-    let w = cli.require_workload();
+pub fn sweep_btb(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
     println!("workload: {}\n", w.name);
     println!(
         "{:>10} {:>14} {:>10} {:>13} {:>16}",
         "BTB scale", "ours (IPC)", "Shotgun", "ours/Shotgun", "footprint miss"
     );
     for scale in [1.0f64, 0.5, 0.25, 0.125] {
-        let mut ours = config_for(cli, "SN4L+Dis+BTB");
+        let mut ours = config_for(cli, "SN4L+Dis+BTB")?;
         ours.btb.entries = ((ours.btb.entries as f64 * scale) as usize).max(64) / 4 * 4;
         let ours_rep = run_config(&w, ours, cli.seed);
-        let mut shot = config_for(cli, "Shotgun");
+        let mut shot = config_for(cli, "Shotgun")?;
         shot.prefetcher = PrefetcherKind::Shotgun(ShotgunBtbConfig::scaled(scale));
         let shot_rep = run_config(&w, shot, cli.seed);
         println!(
@@ -156,6 +170,7 @@ pub fn sweep_btb(cli: &Cli) {
                 .unwrap_or(0.0)
         );
     }
+    Ok(())
 }
 
 fn print_report(r: &SimReport, base: &SimReport) {
@@ -219,13 +234,11 @@ fn report_json(r: &SimReport, base: Option<&SimReport>) -> JsonObject {
     o
 }
 
-
 /// `dcfb record`
-pub fn record(cli: &Cli) {
-    let w = cli.require_workload();
+pub fn record(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
     let Some(out) = &cli.out else {
-        eprintln!("error: --out is required for record");
-        std::process::exit(2);
+        return Err(DcfbError::Usage("--out is required for record".into()));
     };
     let image = w.image(cli.isa);
     let mut walker = Walker::new(image, cli.seed);
@@ -233,44 +246,58 @@ pub fn record(cli: &Cli) {
     for _ in 0..cli.warmup {
         walker.next_instr();
     }
-    let file = std::fs::File::create(out).unwrap_or_else(|e| {
-        eprintln!("error: cannot create {out}: {e}");
-        std::process::exit(1);
-    });
+    let file = std::fs::File::create(out).map_err(|e| DcfbError::io(out, &e))?;
     let written = match cli.format.as_str() {
         "text" => dcfb_trace::write_text(&mut walker, file, cli.measure),
-        _ => dcfb_trace::write_binary(&mut walker, file, cli.measure),
+        _ => dcfb_trace::write_binary_v2(
+            &mut walker,
+            file,
+            cli.measure,
+            Some(cli.isa),
+            dcfb_trace::file::DEFAULT_CHUNK_RECORDS,
+        ),
     }
-    .unwrap_or_else(|e| {
-        eprintln!("error: write failed: {e}");
-        std::process::exit(1);
-    });
-    println!("wrote {written} instructions of {} to {out} ({})", w.name, cli.format);
+    .map_err(|e| DcfbError::io(out, &e))?;
+    println!(
+        "wrote {written} instructions of {} to {out} ({})",
+        w.name, cli.format
+    );
+    Ok(())
 }
 
 /// `dcfb replay`
-pub fn replay(cli: &Cli) {
+pub fn replay(cli: &Cli) -> Result<(), DcfbError> {
     let Some(path) = &cli.trace else {
-        eprintln!("error: --trace is required for replay");
-        std::process::exit(2);
+        return Err(DcfbError::Usage("--trace is required for replay".into()));
     };
-    let data = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    // Sniff the format by magic.
-    let trace: VecTrace = if data.starts_with(dcfb_trace::file::MAGIC) {
-        dcfb_trace::read_binary(data.as_slice())
+    let data = std::fs::read(path).map_err(|e| DcfbError::io(path, &e))?;
+    let mode = if cli.lenient {
+        ReadMode::Lenient
     } else {
-        dcfb_trace::read_text(data.as_slice())
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("error: cannot parse {path}: {e}");
-        std::process::exit(1);
-    });
+        ReadMode::Strict
+    };
+    // Sniff the format by magic.
+    let trace: VecTrace = if data.starts_with(dcfb_trace::file::MAGIC)
+        || data.starts_with(dcfb_trace::file::MAGIC_V2)
+    {
+        let (trace, report) = dcfb_trace::read_binary_checked(data.as_slice(), mode)?;
+        if let Some(reason) = &report.salvage {
+            eprintln!(
+                "warning: {path}: trace damaged ({reason}); salvaged {} of {} records",
+                report.records,
+                report
+                    .declared_records
+                    .map_or_else(|| "unknown".to_owned(), |n| n.to_string()),
+            );
+        }
+        trace
+    } else {
+        dcfb_trace::read_text(data.as_slice())?
+    };
     if trace.is_empty() {
-        eprintln!("error: empty trace");
-        std::process::exit(1);
+        return Err(DcfbError::Config(format!(
+            "{path}: trace holds no records; nothing to replay"
+        )));
     }
     let start_pc = trace.instrs()[0].pc;
     let code: Arc<dyn CodeMemory + Send + Sync> =
@@ -280,25 +307,25 @@ pub fn replay(cli: &Cli) {
     let warmup = cli.warmup.min(total / 2);
     let measure = (total - warmup).min(cli.measure);
 
-    let run_one = |method: &str| {
-        let mut cfg = config_for(cli, method);
-        cfg.warmup_instrs = warmup;
-        cfg.measure_instrs = measure;
-        let mut sim = Simulator::with_code(cfg, Arc::clone(&code), start_pc, label.clone());
+    let run_one = |method: &str| -> Result<SimReport, DcfbError> {
+        let mut cfg = config_for(cli, method)?;
+        cfg.warmup_instrs = warmup.max(1);
+        cfg.measure_instrs = measure.max(1);
+        let mut sim = Simulator::try_with_code(cfg, Arc::clone(&code), start_pc, label.clone())?;
         let mut replayer = trace.replay();
-        sim.run(&mut replayer)
+        Ok(sim.run(&mut replayer))
     };
-    let base = run_one("Baseline");
-    let r = run_one(&cli.method);
+    let base = run_one("Baseline")?;
+    let r = run_one(&cli.method)?;
     if cli.json {
         // Reuse the same JSON shape as `run`.
         println!("{}", report_json(&r, Some(&base)).render());
-        return;
+        return Ok(());
     }
     println!(
-        "replayed {} instructions ({warmup} warmup + {measure} measured)
-",
+        "replayed {} instructions ({warmup} warmup + {measure} measured)\n",
         total
     );
     print_report(&r, &base);
+    Ok(())
 }

@@ -7,17 +7,23 @@
 //! dcfb analyze  --workload "Media Streaming" [options]
 //! dcfb sweep-btb --workload "OLTP (DB A)" [options]
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
-//! dcfb replay   --trace trace.dcfbt --method Shotgun [options]
+//! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! ```
 //!
 //! Common options: `--warmup N`, `--measure N`, `--seed N`,
 //! `--isa fixed|variable`, `--json` (machine-readable output for `run`).
+//!
+//! Every failure prints a one-line `error:` diagnostic — never a
+//! backtrace — and exits with a code describing what went wrong:
+//! 2 usage, 3 bad input (corrupt trace, unknown workload/method, bad
+//! config), 4 run failure, 5 host I/O.
 
 mod args;
 mod commands;
 mod json;
 
 use args::Cli;
+use dcfb_errors::{DcfbError, EXIT_USAGE};
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -25,22 +31,32 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
-    match cli.command.as_str() {
-        "list" => commands::list(),
+    let result: Result<(), DcfbError> = match cli.command.as_str() {
+        "list" => {
+            commands::list();
+            Ok(())
+        }
         "run" => commands::run(&cli),
         "compare" => commands::compare(&cli),
         "analyze" => commands::analyze(&cli),
         "sweep-btb" => commands::sweep_btb(&cli),
         "record" => commands::record(&cli),
         "replay" => commands::replay(&cli),
-        "help" | "--help" | "-h" => println!("{}", args::USAGE),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
         other => {
             eprintln!("error: unknown command {other:?}\n");
             eprintln!("{}", args::USAGE);
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
 }

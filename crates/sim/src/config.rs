@@ -1,6 +1,7 @@
 //! Simulation configuration (Table III defaults).
 
 use dcfb_cache::CacheConfig;
+use dcfb_errors::DcfbError;
 use dcfb_frontend::{BtbConfig, ShotgunBtbConfig};
 use dcfb_prefetch::{ConfluenceConfig, Sn4lDisConfig, TagPolicy};
 use dcfb_trace::IsaMode;
@@ -181,7 +182,106 @@ impl SimConfig {
     pub fn fig16_methods() -> [&'static str; 4] {
         ["Shotgun", "Confluence", "SN4L+Dis+BTB", "Baseline"]
     }
+
+    /// Checks the configuration for values the simulator cannot run
+    /// with, returning [`DcfbError::Config`] naming the first problem.
+    ///
+    /// Called by [`Simulator::try_new`](crate::Simulator::try_new) and
+    /// the CLI before a run, so a bad sweep or hand-edited config fails
+    /// with a one-line diagnostic (exit 3) instead of an index panic
+    /// deep in a table model.
+    pub fn validate(&self) -> Result<(), DcfbError> {
+        fn pow2(what: &str, n: usize) -> Result<(), DcfbError> {
+            if n == 0 || !n.is_power_of_two() {
+                return Err(DcfbError::Config(format!(
+                    "{what} must be a nonzero power of two (got {n})"
+                )));
+            }
+            Ok(())
+        }
+        fn nonzero(what: &str, n: u64) -> Result<(), DcfbError> {
+            if n == 0 {
+                return Err(DcfbError::Config(format!("{what} must be nonzero")));
+            }
+            Ok(())
+        }
+        fn set_assoc(what: &str, entries: usize, ways: usize) -> Result<(), DcfbError> {
+            nonzero(&format!("{what} ways"), ways as u64)?;
+            if entries == 0 || entries % ways != 0 {
+                return Err(DcfbError::Config(format!(
+                    "{what} entries ({entries}) must be a nonzero multiple of ways ({ways})"
+                )));
+            }
+            pow2(&format!("{what} sets"), entries / ways)
+        }
+
+        nonzero("fetch_width", u64::from(self.fetch_width))?;
+        pow2("l1i sets", self.l1i.sets)?;
+        nonzero("l1i ways", self.l1i.ways as u64)?;
+        nonzero("mshrs", self.mshrs as u64)?;
+        set_assoc("btb", self.btb.entries, self.btb.ways)?;
+        nonzero("btb_miss_penalty", self.btb_miss_penalty)?;
+        nonzero("ftq_entries", self.ftq_entries as u64)?;
+        if self.use_prefetch_buffer {
+            nonzero("prefetch_buffer_entries", self.prefetch_buffer_entries as u64)?;
+        }
+        nonzero("warmup_instrs", self.warmup_instrs)?;
+        nonzero("measure_instrs", self.measure_instrs)?;
+
+        match &self.prefetcher {
+            PrefetcherKind::None | PrefetcherKind::Discontinuity => {}
+            PrefetcherKind::NextLine(d) => {
+                if !(1..=MAX_PREFETCH_DEGREE).contains(&(*d as usize)) {
+                    return Err(DcfbError::Config(format!(
+                        "next-line degree must be 1..={MAX_PREFETCH_DEGREE} (got {d})"
+                    )));
+                }
+            }
+            PrefetcherKind::Sn4l { seq_entries } => pow2("SeqTable entries", *seq_entries)?,
+            PrefetcherKind::Dis { dis_entries, .. } => pow2("DisTable entries", *dis_entries)?,
+            PrefetcherKind::Sn4lDis(c) => {
+                pow2("SeqTable entries", c.seq_entries)?;
+                pow2("DisTable entries", c.dis_entries)?;
+                nonzero("RLU entries", c.rlu_entries as u64)?;
+                nonzero("queue_capacity", c.queue_capacity as u64)?;
+                nonzero("max_depth", u64::from(c.max_depth))?;
+            }
+            PrefetcherKind::Confluence(c) => {
+                nonzero("SHIFT history entries", c.history_entries as u64)?;
+                if !(1..=MAX_PREFETCH_DEGREE).contains(&c.degree) {
+                    return Err(DcfbError::Config(format!(
+                        "Confluence degree must be 1..={MAX_PREFETCH_DEGREE} (got {})",
+                        c.degree
+                    )));
+                }
+                nonzero("Confluence lookahead", c.lookahead as u64)?;
+            }
+            PrefetcherKind::Boomerang { btb_entries } => pow2("BB-BTB entries", *btb_entries)?,
+            PrefetcherKind::Shotgun(sc) => {
+                // The split BTB indexes by modulo, so sets need not be
+                // powers of two — only nonzero and way-divisible.
+                nonzero("shotgun ways", sc.ways as u64)?;
+                for (what, entries) in [
+                    ("U-BTB", sc.u_entries),
+                    ("C-BTB", sc.c_entries),
+                    ("RIB", sc.r_entries),
+                ] {
+                    if entries == 0 || entries % sc.ways != 0 {
+                        return Err(DcfbError::Config(format!(
+                            "{what} entries ({entries}) must be a nonzero multiple of ways ({})",
+                            sc.ways
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Largest sequential prefetch degree the frontend models sensibly
+/// (beyond this, a degree sweep stops resembling the paper's Fig. 4).
+pub const MAX_PREFETCH_DEGREE: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -225,6 +325,82 @@ mod tests {
     fn confluence_gets_the_16k_btb() {
         let cfg = SimConfig::for_method("Confluence").unwrap();
         assert_eq!(cfg.btb.entries, 16 * 1024);
+    }
+
+    #[test]
+    fn every_standard_method_validates() {
+        for m in [
+            "Baseline",
+            "NL",
+            "N8L",
+            "SN4L",
+            "Dis",
+            "SN4L+Dis",
+            "SN4L+Dis+BTB",
+            "Discontinuity",
+            "Confluence",
+            "Boomerang",
+            "Shotgun",
+        ] {
+            SimConfig::for_method(m)
+                .unwrap()
+                .validate()
+                .unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_table_sizes() {
+        let mut cfg = SimConfig::default();
+        cfg.l1i.sets = 65; // not a power of two
+        assert!(matches!(cfg.validate(), Err(DcfbError::Config(_))));
+
+        let mut cfg = SimConfig::default();
+        cfg.btb.entries = 2047; // sets not a power of two
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.prefetcher = PrefetcherKind::Sn4l { seq_entries: 3000 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_windows() {
+        let mut cfg = SimConfig::default();
+        cfg.warmup_instrs = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.measure_instrs = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.ftq_entries = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::default();
+        cfg.mshrs = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_prefetch_degree() {
+        let mut cfg = SimConfig::default();
+        cfg.prefetcher = PrefetcherKind::NextLine(0);
+        assert!(cfg.validate().is_err());
+        cfg.prefetcher = PrefetcherKind::NextLine(MAX_PREFETCH_DEGREE as u32 + 1);
+        assert!(cfg.validate().is_err());
+        cfg.prefetcher = PrefetcherKind::NextLine(MAX_PREFETCH_DEGREE as u32);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_diagnostics_name_the_field() {
+        let mut cfg = SimConfig::default();
+        cfg.warmup_instrs = 0;
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("warmup_instrs"), "{msg}");
+        assert!(!msg.contains('\n'), "one-line diagnostic expected: {msg}");
     }
 
     #[test]

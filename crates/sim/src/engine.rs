@@ -23,6 +23,7 @@
 use crate::config::{PrefetcherKind, SimConfig};
 use crate::metrics::SimReport;
 use dcfb_cache::{LineFlags, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
+use dcfb_errors::DcfbError;
 use dcfb_frontend::{
     BranchClass, Btb, BtbEntry, Ftq, Predecoder, ReturnAddressStack, Tage, TageConfig,
 };
@@ -393,7 +394,35 @@ pub struct Simulator {
 }
 
 impl Simulator {
+    /// Creates a simulator over a synthetic program `image`, after
+    /// [`SimConfig::validate`]-checking `cfg`.
+    ///
+    /// This is the entry point for callers handling untrusted
+    /// configuration (the CLI, sweep scripts); it reports a bad config
+    /// as [`DcfbError::Config`] instead of panicking mid-run.
+    pub fn try_new(cfg: SimConfig, image: Arc<ProgramImage>) -> Result<Self, DcfbError> {
+        cfg.validate()?;
+        Ok(Simulator::new(cfg, image))
+    }
+
+    /// Fallible variant of [`Simulator::with_code`]: validates `cfg`
+    /// first.
+    pub fn try_with_code(
+        cfg: SimConfig,
+        code: Arc<dyn CodeMemory + Send + Sync>,
+        start_pc: Addr,
+        workload_name: String,
+    ) -> Result<Self, DcfbError> {
+        cfg.validate()?;
+        Ok(Simulator::with_code(cfg, code, start_pc, workload_name))
+    }
+
     /// Creates a simulator over a synthetic program `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`]. Use
+    /// [`Simulator::try_new`] when the configuration is untrusted.
     pub fn new(cfg: SimConfig, image: Arc<ProgramImage>) -> Self {
         let start_pc = image.functions()[0].entry;
         let name = image.params().name.clone();
@@ -404,12 +433,19 @@ impl Simulator {
     /// [`dcfb_trace::RecordedCode`] reconstructed from an external
     /// trace. `start_pc` seeds the BTB-directed discovery engines;
     /// `workload_name` labels the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
     pub fn with_code(
         cfg: SimConfig,
         code: Arc<dyn CodeMemory + Send + Sync>,
         start_pc: Addr,
         workload_name: String,
     ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let machine = Machine::new(&cfg, code, workload_name);
         let frontend = match &cfg.prefetcher {
             PrefetcherKind::None => Frontend::Conventional(None),

@@ -24,13 +24,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
+pub mod fault;
 pub mod file;
 pub mod instr;
 pub mod isa;
 pub mod memory;
 pub mod stream;
 
-pub use file::{read_binary, read_text, write_binary, write_text};
+pub use fault::{FaultyReader, FaultyStream, StreamFault};
+pub use file::{
+    read_binary, read_binary_checked, read_text, write_binary, write_binary_v1, write_binary_v2,
+    write_text, ReadMode, ReadReport,
+};
 pub use instr::{Instr, InstrKind, StaticInstr, StaticKind};
 pub use isa::IsaMode;
 pub use memory::{CodeMemory, RecordedCode};

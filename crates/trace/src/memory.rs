@@ -114,6 +114,7 @@ impl CodeMemory for RecordedCode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::{block_base, StaticKind};

@@ -1,0 +1,244 @@
+//! Offline in-tree shim for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment cannot resolve the real `criterion` crate. This
+//! shim keeps every `benches/*.rs` target compiling and runnable: each
+//! benchmark is timed with a simple calibrated loop (warm-up + a
+//! time-capped batch of iterations) and reported as `ns/iter` on stdout.
+//! It is *not* a statistically rigorous harness — it exists so `cargo
+//! bench` gives ballpark numbers offline and `cargo test`/`cargo build`
+//! resolve without a registry.
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets),
+//! every routine runs exactly once so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim's timer).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives one benchmark's iteration loop.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    ns_per_iter: f64,
+}
+
+const TARGET: Duration = Duration::from_millis(120);
+const MAX_ITERS: u64 = 10_000_000;
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm up and calibrate with a single iteration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1000 as u128) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// The top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("bench {name:40} {ns:14.1} ns/iter");
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if count > 0 && ns > 0.0 {
+            let per_sec = count as f64 / (ns * 1e-9);
+            line.push_str(&format!("   {per_sec:14.0} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if !self.test_mode {
+            report(name.as_ref(), b.ns_per_iter, None);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; the shim's
+    /// loop is time-capped instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Attaches a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if !self.criterion.test_mode {
+            let full = format!("{}/{}", self.name, name.as_ref());
+            report(&full, b.ns_per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_batched_routines() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        let mut ran = 0u32;
+        g.bench_function("t", |b| {
+            b.iter_batched(|| 1u32, |x| ran += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}
