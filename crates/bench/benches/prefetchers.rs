@@ -1,6 +1,8 @@
 //! Event-handling throughput of each prefetcher: demand hooks plus
 //! queue pumping, against a scripted context (no timing model).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dcfb_prefetch::context::MockContext;
 use dcfb_prefetch::{
@@ -27,7 +29,7 @@ fn drive(c: &mut Criterion, name: &str, mut make: impl FnMut() -> Box<dyn InstrP
         b.iter(|| {
             i += 1;
             let block = block_at(i);
-            let hit = i % 3 != 0;
+            let hit = !i.is_multiple_of(3);
             pf.on_demand(&mut ctx, black_box(block), hit, false, &recent);
             pf.tick(&mut ctx);
             if ctx.issued.len() > 1024 {

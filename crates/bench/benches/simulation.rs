@@ -1,6 +1,8 @@
 //! End-to-end simulator throughput: simulated instructions per second
 //! for the main frontend configurations.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dcfb_sim::{SimConfig, Simulator};
 use dcfb_trace::IsaMode;

@@ -3,6 +3,8 @@
 //! direct-mapped lookups (Table II's "search complexity" row); these
 //! benches quantify the software model's cost per operation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dcfb_frontend::{BranchClass, Btb, BtbConfig, BtbEntry};
 use dcfb_prefetch::{BtbPrefetchBuffer, DisTable, Rlu, SeqTable, TagPolicy};
@@ -95,7 +97,7 @@ fn bench_btb_buffer(c: &mut Criterion) {
             for x in &mut e {
                 x.pc = block * 64 + (x.pc % 64);
             }
-            buf.fill(block, e);
+            buf.fill(block, e.into());
             black_box(buf.take_for(block * 64))
         })
     });

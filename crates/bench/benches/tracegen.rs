@@ -1,6 +1,8 @@
 //! Throughput of the workload substrate: image construction and trace
 //! synthesis (the simulator's input side).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dcfb_trace::{InstrStream, IsaMode};
 use dcfb_workloads::{ProgramImage, Walker, WorkloadParams};

@@ -1,7 +1,10 @@
 //! Regenerates every table and figure of the paper and prints an
 //! EXPERIMENTS.md-ready markdown document to stdout.
 //!
-//! Scale knobs: DCFB_WARMUP, DCFB_MEASURE, DCFB_WORKLOADS.
+//! Scale knobs: DCFB_WARMUP, DCFB_MEASURE, DCFB_WORKLOADS, DCFB_JOBS
+//! (worker threads per figure sweep; the output is byte-identical for
+//! every job count — results are merged in workload order and failure
+//! records are sorted before printing).
 //!
 //! Robustness knobs:
 //!
@@ -66,7 +69,12 @@ fn main() {
         let inject = fail_figure.as_deref() == Some(id);
         let result = catch_unwind(AssertUnwindSafe(|| {
             if inject {
-                panic!("injected fault: DCFB_FAIL_FIGURE={id}");
+                // Deliberate: this is the fault-injection knob the
+                // crash-isolation tests exercise.
+                #[allow(clippy::panic)]
+                {
+                    panic!("injected fault: DCFB_FAIL_FIGURE={id}");
+                }
             }
             gen()
         }));
@@ -88,7 +96,13 @@ fn main() {
         }
         // Individual (workload, method) runs that died inside a figure
         // (but were salvaged by the run-level isolation) count too.
-        for rec in dcfb_bench::runs::take_failures() {
+        // Under parallel sweeps the registry fills in completion order,
+        // so sort to keep the failure summary deterministic.
+        let mut run_failures = dcfb_bench::runs::take_failures();
+        run_failures.sort_by(|a, b| {
+            (a.workload.as_str(), a.method.as_str()).cmp(&(b.workload.as_str(), b.method.as_str()))
+        });
+        for rec in run_failures {
             if let dcfb_bench::runs::RunOutcome::Failed(e) = &rec.outcome {
                 failures.push((format!("{id}: {} on {}", rec.method, rec.workload), e.to_string()));
             }

@@ -7,9 +7,10 @@
 //! the authors' Flexus testbed (see DESIGN.md).
 
 use crate::runs::{
-    baseline, image_for, measure_instrs, method_config, run, run_method_all, scaled, workloads,
-    TRACE_SEED,
+    baseline, image_for, measure_instrs, method_config, run, run_all, run_all_with_baseline,
+    run_method_all, scaled, workloads, TRACE_SEED,
 };
+use crate::sweep::parallel_map;
 use crate::table::Table;
 use dcfb_frontend::ShotgunBtbConfig;
 use dcfb_prefetch::{Sn4lDisConfig, TagPolicy};
@@ -27,11 +28,13 @@ pub fn fig01_footprint_miss() -> Table {
         &["Workload", "Footprint miss ratio"],
     );
     for (w, rep, _) in run_method_all("Shotgun") {
-        let fmr = rep
-            .shotgun
-            .expect("shotgun stats present")
-            .footprint_miss_ratio();
-        t.row(vec![w.name.to_owned(), Table::pct(fmr)]);
+        // The Shotgun runner always attaches its stats; render a
+        // placeholder rather than aborting the sweep if it ever stops.
+        let cell = match rep.shotgun {
+            Some(sh) => Table::pct(sh.footprint_miss_ratio()),
+            None => "n/a".to_owned(),
+        };
+        t.row(vec![w.name.to_owned(), cell]);
     }
     t.note("Paper: 4-31%, highest on OLTP (DB A).");
     t
@@ -60,8 +63,7 @@ pub fn fig02_seq_fraction() -> Table {
         "Fraction of sequential cache misses (no prefetcher)",
         &["Workload", "Sequential fraction"],
     );
-    for w in workloads() {
-        let rep = baseline(&w);
+    for (w, rep) in parallel_map(workloads(), |w| (w.clone(), baseline(w))) {
         t.row(vec![w.name.to_owned(), Table::pct(rep.seq_miss_fraction())]);
     }
     t.note("Paper: 65-80% of L1i misses are sequential.");
@@ -106,8 +108,7 @@ pub fn fig04_cmal_nxl() -> Table {
         cfgd.use_prefetch_buffer = true;
         let mut covered = 0.0;
         let mut total = 0.0;
-        for w in workloads() {
-            let rep = run(&w, cfgd.clone());
+        for (_, rep) in run_all(&cfgd) {
             covered += rep.cmal_covered;
             total += rep.cmal_total;
         }
@@ -133,9 +134,7 @@ pub fn fig05_side_effects() -> Table {
         let mut lat = 0.0;
         let mut bw = 0.0;
         let mut n = 0.0;
-        for w in workloads() {
-            let base = baseline(&w);
-            let rep = run(&w, cfgd.clone());
+        for (_, rep, base) in run_all_with_baseline(&cfgd) {
             lat += rep.llc_latency_over(&base);
             bw += rep.bandwidth_over(&base);
             n += 1.0;
@@ -159,11 +158,14 @@ pub fn fig06_pattern_pred() -> Table {
         &["Workload", "Prediction accuracy"],
     );
     let limit = measure_instrs();
-    for w in workloads() {
-        let image = image_for(&w, IsaMode::Fixed4);
+    let rows = parallel_map(workloads(), |w| {
+        let image = image_for(w, IsaMode::Fixed4);
         let mut walker = Walker::new(image, TRACE_SEED);
         let p = analysis::pattern_predictability(&mut walker, dcfb_cache::CacheConfig::l1i(), limit);
-        t.row(vec![w.name.to_owned(), Table::pct(p)]);
+        (w.name.to_owned(), p)
+    });
+    for (name, p) in rows {
+        t.row(vec![name, Table::pct(p)]);
     }
     t.note("Paper: 92% on average.");
     t
@@ -178,11 +180,13 @@ pub fn fig07_branch_stability() -> Table {
         &["Workload", "Same-branch fraction"],
     );
     let limit = measure_instrs();
-    for w in workloads() {
-        let image = image_for(&w, IsaMode::Fixed4);
+    let rows = parallel_map(workloads(), |w| {
+        let image = image_for(w, IsaMode::Fixed4);
         let mut walker = Walker::new(image, TRACE_SEED);
-        let s = analysis::discontinuity_stability(&mut walker, limit);
-        t.row(vec![w.name.to_owned(), Table::pct(s)]);
+        (w.name.to_owned(), analysis::discontinuity_stability(&mut walker, limit))
+    });
+    for (name, s) in rows {
+        t.row(vec![name, Table::pct(s)]);
     }
     t.note("Paper: 78% (Web Apache) to 83% (OLTP DB A), 80% average.");
     t
@@ -197,14 +201,11 @@ pub fn fig08_bf_branches() -> Table {
         &["Branches per BF", "Uncovered branches (avg)"],
     );
     for per_bf in [1usize, 2, 3, 4, 6, 8] {
-        let mut sum = 0.0;
-        let mut n = 0.0;
-        for w in workloads() {
-            let image = image_for(&w, IsaMode::Fixed4);
-            sum += analysis::branch_footprint_coverage(&image, per_bf);
-            n += 1.0;
-        }
-        t.row(vec![per_bf.to_string(), Table::pct(sum / n)]);
+        let covs = parallel_map(workloads(), |w| {
+            analysis::branch_footprint_coverage(&image_for(w, IsaMode::Fixed4), per_bf)
+        });
+        let n = covs.len().max(1) as f64;
+        t.row(vec![per_bf.to_string(), Table::pct(covs.iter().sum::<f64>() / n)]);
     }
     t.note("Paper: storing 4 branch offsets per 64 B block covers almost all branches.");
     t
@@ -221,15 +222,13 @@ pub fn fig09_bf_per_set() -> Table {
     let limit = measure_instrs();
     // One core-visible LLC slice: 2 MiB / 64 B / 16 ways = 2048 sets.
     for slots in [1usize, 2, 3, 4] {
-        let mut sum = 0.0;
-        let mut n = 0.0;
-        for w in workloads() {
-            let image = image_for(&w, IsaMode::Fixed4);
+        let covs = parallel_map(workloads(), |w| {
+            let image = image_for(w, IsaMode::Fixed4);
             let mut walker = Walker::new(image, TRACE_SEED);
-            sum += analysis::bf_per_set_coverage(&mut walker, 2048, slots, limit);
-            n += 1.0;
-        }
-        t.row(vec![slots.to_string(), Table::pct(sum / n)]);
+            analysis::bf_per_set_coverage(&mut walker, 2048, slots, limit)
+        });
+        let n = covs.len().max(1) as f64;
+        t.row(vec![slots.to_string(), Table::pct(covs.iter().sum::<f64>() / n)]);
     }
     t.note("Paper: 2 slots leave ~2%, 3 leave 0.4%, 4 leave 0.2% of BFs uncovered.");
     t
@@ -248,9 +247,7 @@ pub fn fig11_table_sizes() -> Table {
         cfg.prefetcher = kind;
         let mut sum = 0.0;
         let mut n = 0.0;
-        for w in workloads() {
-            let base = baseline(&w);
-            let rep = run(&w, cfg.clone());
+        for (_, rep, base) in run_all_with_baseline(&cfg) {
             sum += rep.miss_coverage_over(&base);
             n += 1.0;
         }
@@ -304,8 +301,7 @@ pub fn fig12_tagging() -> Table {
         };
         let mut sum = 0.0;
         let mut n = 0.0;
-        for w in workloads() {
-            let rep = run(&w, cfg.clone());
+        for (_, rep) in run_all(&cfg) {
             sum += rep.l1i.useless_prefetch_evictions as f64 * 1000.0 / rep.instrs.max(1) as f64;
             n += 1.0;
         }
@@ -327,8 +323,7 @@ pub fn fig13_timeliness() -> Table {
         let cfg = method_config(method);
         let mut covered = 0.0;
         let mut total = 0.0;
-        for w in workloads() {
-            let rep = run(&w, cfg.clone());
+        for (_, rep) in run_all(&cfg) {
             covered += rep.cmal_covered;
             total += rep.cmal_total;
         }
@@ -365,9 +360,7 @@ pub fn fig14_lookups() -> Table {
         cfg.prefetcher = PrefetcherKind::Sn4lDis(c);
         let mut sum = 0.0;
         let mut n = 0.0;
-        for w in workloads() {
-            let base = baseline(&w);
-            let rep = run(&w, cfg.clone());
+        for (_, rep, base) in run_all_with_baseline(&cfg) {
             sum += rep.lookups_over(&base);
             n += 1.0;
         }
@@ -387,13 +380,19 @@ pub fn fig15_fscr() -> Table {
     );
     let methods = ["SN4L+Dis+BTB", "Shotgun", "Confluence"];
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    let ws = workloads();
-    for w in &ws {
+    // One parallel item per workload row (each runs its baseline plus
+    // all three methods); rows land in workload order.
+    let rows = parallel_map(workloads(), |w| {
         let base = baseline(w);
-        let mut cells = vec![w.name.to_owned()];
-        for (k, m) in methods.iter().enumerate() {
-            let rep = run(w, method_config(m));
-            let fscr = rep.fscr_over(&base);
+        let fscrs: Vec<f64> = methods
+            .iter()
+            .map(|m| run(w, method_config(m)).fscr_over(&base))
+            .collect();
+        (w.name.to_owned(), fscrs)
+    });
+    for (name, fscrs) in rows {
+        let mut cells = vec![name];
+        for (k, fscr) in fscrs.into_iter().enumerate() {
             per_method[k].push(fscr);
             cells.push(Table::pct(fscr));
         }
@@ -418,13 +417,17 @@ pub fn fig16_speedup() -> Table {
     );
     let methods = ["SN4L+Dis+BTB", "Shotgun", "Confluence"];
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    let ws = workloads();
-    for w in &ws {
+    let rows = parallel_map(workloads(), |w| {
         let base = baseline(w);
-        let mut cells = vec![w.name.to_owned()];
-        for (k, m) in methods.iter().enumerate() {
-            let rep = run(w, method_config(m));
-            let s = rep.speedup_over(&base);
+        let speedups: Vec<f64> = methods
+            .iter()
+            .map(|m| run(w, method_config(m)).speedup_over(&base))
+            .collect();
+        (w.name.to_owned(), speedups)
+    });
+    for (name, speedups) in rows {
+        let mut cells = vec![name];
+        for (k, s) in speedups.into_iter().enumerate() {
             per_method[k].push(s);
             cells.push(Table::x(s));
         }
@@ -447,14 +450,12 @@ pub fn fig17_breakdown() -> Table {
         "Performance breakdown of SN4L+Dis+BTB components",
         &["Configuration", "Speedup (geomean)"],
     );
-    let ws = workloads();
     let speedups_for = |cfg_for: &dyn Fn() -> SimConfig| {
-        let mut v = Vec::new();
-        for w in &ws {
-            let base = baseline(w);
-            let rep = run(w, cfg_for());
-            v.push(rep.speedup_over(&base));
-        }
+        let cfg = cfg_for();
+        let v: Vec<f64> = run_all_with_baseline(&cfg)
+            .into_iter()
+            .map(|(_, rep, base)| rep.speedup_over(&base))
+            .collect();
         dcfb_sim::experiment::geomean(v)
     };
     for m in ["N4L", "SN4L", "SN4L+Dis", "SN4L+Dis+BTB"] {
@@ -487,17 +488,16 @@ pub fn fig18_btb_sweep() -> Table {
         &["BTB scale", "Ours / Shotgun (geomean)"],
     );
     for scale in [1.0f64, 0.5, 0.25, 0.125] {
-        let mut ratios = Vec::new();
-        for w in workloads() {
+        let ratios = parallel_map(workloads(), |w| {
             let mut ours = method_config("SN4L+Dis+BTB");
             let base_entries = ours.btb.entries;
             ours.btb.entries = ((base_entries as f64 * scale) as usize).max(64) / 4 * 4;
             let mut shot = method_config("Shotgun");
             shot.prefetcher = PrefetcherKind::Shotgun(ShotgunBtbConfig::scaled(scale));
-            let ours_rep = run(&w, ours);
-            let shot_rep = run(&w, shot);
-            ratios.push(ours_rep.ipc() / shot_rep.ipc().max(1e-9));
-        }
+            let ours_rep = run(w, ours);
+            let shot_rep = run(w, shot);
+            ours_rep.ipc() / shot_rep.ipc().max(1e-9)
+        });
         t.row(vec![
             format!("{:.3}x", scale),
             Table::x(dcfb_sim::experiment::geomean(ratios)),
@@ -567,19 +567,23 @@ pub fn dvllc_impact() -> Table {
         "DV-LLC impact on LLC hit ratios (variable-length ISA)",
         &["Workload", "Instr hit (DV)", "Instr hit (off)", "Data-side capacity cost"],
     );
-    for w in workloads().into_iter().take(3) {
+    let subset: Vec<_> = workloads().into_iter().take(3).collect();
+    let rows = parallel_map(subset, |w| {
         let run_dv = |dvllc: bool| {
             let mut cfg = method_config("SN4L+Dis+BTB");
             cfg.isa = IsaMode::Variable;
             cfg.uncore.dvllc = dvllc;
-            run(&w, cfg)
+            run(w, cfg)
         };
         let on = run_dv(true);
         let off = run_dv(false);
         let hit_on = on.uncore.llc_hits as f64 / on.uncore.requests.max(1) as f64;
         let hit_off = off.uncore.llc_hits as f64 / off.uncore.requests.max(1) as f64;
+        (w.name.to_owned(), hit_on, hit_off)
+    });
+    for (name, hit_on, hit_off) in rows {
         t.row(vec![
-            w.name.to_owned(),
+            name,
             Table::pct(hit_on),
             Table::pct(hit_off),
             Table::pct((hit_off - hit_on).max(0.0)),

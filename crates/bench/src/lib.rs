@@ -10,12 +10,18 @@
 //!
 //! * `DCFB_WARMUP` — warmup instructions per run (default 1,000,000),
 //! * `DCFB_MEASURE` — measured instructions per run (default 2,000,000),
-//! * `DCFB_WORKLOADS` — restrict to the first N workloads (default all 7).
+//! * `DCFB_WORKLOADS` — restrict to the first N workloads (default all 7),
+//! * `DCFB_JOBS` — worker threads for the parallel sweep (default =
+//!   available parallelism; 1 forces the sequential path). Results are
+//!   merged in item order, so the output is byte-identical for every
+//!   job count.
 
 pub mod checkpoint;
 pub mod figures;
 pub mod runs;
+pub mod sweep;
 pub mod table;
 
 pub use runs::{measure_instrs, warmup_instrs, workloads};
+pub use sweep::{run_bench_sweep, BenchSweepReport, SweepOptions};
 pub use table::Table;

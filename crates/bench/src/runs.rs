@@ -32,9 +32,34 @@ fn parse_env_u64(name: &str, raw: Option<&str>, default: u64) -> (u64, Option<St
     }
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
+/// Reads and memoizes one environment scale knob.
+///
+/// Each variable is read from the process environment exactly once; the
+/// parsed value (`Some` for a valid integer, `None` for absent or
+/// malformed, which falls back to the caller's default) is cached for
+/// the life of the process. The malformed-value warning is returned only
+/// by the call that performed the first read, so a sweep running on N
+/// worker threads prints it once instead of once per worker.
+fn env_u64_memo(name: &str, default: u64) -> (u64, Option<String>) {
+    static CACHE: OnceLock<Mutex<HashMap<String, Option<u64>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // The first reader holds the lock across the env read, so
+    // concurrent callers cannot race to a second read/warning.
+    let mut guard = lock_cache(cache);
+    if let Some(parsed) = guard.get(name) {
+        return (parsed.unwrap_or(default), None);
+    }
     let raw = std::env::var(name).ok();
     let (value, warning) = parse_env_u64(name, raw.as_deref(), default);
+    // Malformed and absent both memoize as None: the default applies,
+    // and per-caller defaults stay free to differ.
+    let parsed = raw.as_deref().and_then(|r| r.parse().ok());
+    guard.insert(name.to_owned(), parsed);
+    (value, warning)
+}
+
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
+    let (value, warning) = env_u64_memo(name, default);
     if let Some(w) = warning {
         eprintln!("{w}");
     }
@@ -72,7 +97,14 @@ pub fn scaled(mut cfg: SimConfig) -> SimConfig {
 /// Panics on an unknown method name; use [`try_method_config`] for
 /// untrusted names.
 pub fn method_config(name: &str) -> SimConfig {
-    scaled(SimConfig::for_method(name).unwrap_or_else(|| panic!("unknown method {name}")))
+    match try_method_config(name) {
+        Ok(cfg) => cfg,
+        // Figure generators only pass the fixed method names from their
+        // tables; an unknown name here is a bug in this crate, reported
+        // through the same typed error the fallible path produces.
+        #[allow(clippy::panic)]
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Fallible [`method_config`]: reports unknown names as
@@ -105,8 +137,19 @@ pub fn try_method_config(name: &str) -> Result<SimConfig, DcfbError> {
 
 type ImageKey = (String, IsaMode);
 
-fn image_cache() -> &'static Mutex<HashMap<ImageKey, Arc<ProgramImage>>> {
-    static CACHE: OnceLock<Mutex<HashMap<ImageKey, Arc<ProgramImage>>>> = OnceLock::new();
+/// A once-per-key concurrency-safe memo: the outer mutex is held only
+/// long enough to fetch/insert the per-key cell, and the expensive
+/// build runs inside the cell's `OnceLock`, so N workers asking for the
+/// same key build it exactly once (the rest block on the cell, not on
+/// the whole cache).
+type KeyedOnce<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+fn once_cell_for<K: std::hash::Hash + Eq, V>(cache: &KeyedOnce<K, V>, key: K) -> Arc<OnceLock<V>> {
+    Arc::clone(lock_cache(cache).entry(key).or_default())
+}
+
+fn image_cache() -> &'static KeyedOnce<ImageKey, Arc<ProgramImage>> {
+    static CACHE: OnceLock<KeyedOnce<ImageKey, Arc<ProgramImage>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -120,14 +163,13 @@ fn lock_cache<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// Builds (or fetches a cached) program image for `workload`.
+///
+/// Concurrency-safe and build-once: parallel workers asking for the
+/// same workload share one `Arc<ProgramImage>`, and the image is built
+/// exactly once even when several workers miss simultaneously.
 pub fn image_for(workload: &Workload, isa: IsaMode) -> Arc<ProgramImage> {
-    let key = (workload.name.to_owned(), isa);
-    if let Some(img) = lock_cache(image_cache()).get(&key) {
-        return Arc::clone(img);
-    }
-    let img = workload.image(isa);
-    lock_cache(image_cache()).insert(key, Arc::clone(&img));
-    img
+    let cell = once_cell_for(image_cache(), (workload.name.to_owned(), isa));
+    Arc::clone(cell.get_or_init(|| workload.image(isa)))
 }
 
 /// Runs `cfg` on `workload` (cached image, fixed trace seed).
@@ -138,13 +180,15 @@ pub fn run(workload: &Workload, cfg: SimConfig) -> SimReport {
     sim.run(&mut walker)
 }
 
-fn baseline_cache() -> &'static Mutex<HashMap<String, SimReport>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, SimReport>>> = OnceLock::new();
+fn baseline_cache() -> &'static KeyedOnce<String, SimReport> {
+    static CACHE: OnceLock<KeyedOnce<String, SimReport>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// The no-prefetcher baseline for `workload` at the current scale
-/// (cached per process).
+/// (cached per process; computed exactly once even under parallel
+/// workers — concurrent callers block on the in-flight run instead of
+/// duplicating it).
 pub fn baseline(workload: &Workload) -> SimReport {
     let key = format!(
         "{}:{}:{}",
@@ -152,12 +196,9 @@ pub fn baseline(workload: &Workload) -> SimReport {
         warmup_instrs(),
         measure_instrs()
     );
-    if let Some(r) = lock_cache(baseline_cache()).get(&key) {
-        return r.clone();
-    }
-    let r = run(workload, method_config("Baseline"));
-    lock_cache(baseline_cache()).insert(key, r.clone());
-    r
+    let cell = once_cell_for(baseline_cache(), key);
+    cell.get_or_init(|| run(workload, method_config("Baseline")))
+        .clone()
 }
 
 /// How one crash-isolated run ended.
@@ -301,43 +342,64 @@ where
 /// recorded in the failure registry ([`take_failures`]), so one broken
 /// (workload, method) pair cannot take down a whole figure sweep.
 pub fn run_method_all(method: &str) -> Vec<(Workload, SimReport, SimReport)> {
-    workloads()
+    crate::sweep::parallel_map(workloads(), |w| run_with_baseline(w, method))
         .into_iter()
-        .filter_map(|w| {
-            // The baseline is crash-isolated too: a dead baseline drops
-            // this workload from the sweep, not the whole batch.
-            let wb = w.clone();
-            let base = match catch_unwind(AssertUnwindSafe(move || baseline(&wb))) {
-                Ok(base) => base,
-                Err(payload) => {
-                    let msg = panic_message(payload.as_ref());
-                    record_failure(RunRecord {
-                        workload: w.name.to_owned(),
-                        method: "Baseline".to_owned(),
-                        outcome: RunOutcome::Failed(DcfbError::Run {
-                            workload: w.name.to_owned(),
-                            method: "Baseline".to_owned(),
-                            message: msg.clone(),
-                        }),
-                        retried: false,
-                    });
-                    eprintln!("warning: dropping workload {}: baseline panicked ({msg})", w.name);
-                    return None;
-                }
-            };
-            let rec = run_isolated(&w, method);
-            match rec.outcome {
-                RunOutcome::Ok(rep) => Some((w, rep, base)),
-                RunOutcome::Failed(ref e) => {
-                    eprintln!("warning: dropping {method} on {}: {e}", w.name);
-                    None
-                }
-            }
-        })
+        .flatten()
         .collect()
 }
 
+/// One `(workload, method)` job — the unit of work the parallel
+/// executor schedules for [`run_method_all`].
+fn run_with_baseline(w: &Workload, method: &str) -> Option<(Workload, SimReport, SimReport)> {
+    // The baseline is crash-isolated too: a dead baseline drops
+    // this workload from the sweep, not the whole batch.
+    let wb = w.clone();
+    let base = match catch_unwind(AssertUnwindSafe(move || baseline(&wb))) {
+        Ok(base) => base,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            record_failure(RunRecord {
+                workload: w.name.to_owned(),
+                method: "Baseline".to_owned(),
+                outcome: RunOutcome::Failed(DcfbError::Run {
+                    workload: w.name.to_owned(),
+                    method: "Baseline".to_owned(),
+                    message: msg.clone(),
+                }),
+                retried: false,
+            });
+            eprintln!("warning: dropping workload {}: baseline panicked ({msg})", w.name);
+            return None;
+        }
+    };
+    let rec = run_isolated(w, method);
+    match rec.outcome {
+        RunOutcome::Ok(rep) => Some((w.clone(), rep, base)),
+        RunOutcome::Failed(ref e) => {
+            eprintln!("warning: dropping {method} on {}: {e}", w.name);
+            None
+        }
+    }
+}
+
+/// Runs `cfg` on every workload through the parallel executor, in
+/// workload order. No per-run crash isolation: a panicking run
+/// propagates out of the worker pool to the figure-level `catch_unwind`
+/// in `all_experiments`, exactly like the old sequential loop.
+pub fn run_all(cfg: &SimConfig) -> Vec<(Workload, SimReport)> {
+    crate::sweep::parallel_map(workloads(), |w| (w.clone(), run(w, cfg.clone())))
+}
+
+/// [`run_all`] plus each workload's cached baseline.
+pub fn run_all_with_baseline(cfg: &SimConfig) -> Vec<(Workload, SimReport, SimReport)> {
+    crate::sweep::parallel_map(workloads(), |w| {
+        let rep = run(w, cfg.clone());
+        (w.clone(), rep, baseline(w))
+    })
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -371,6 +433,31 @@ mod tests {
         std::env::set_var("DCFB_TEST_MALFORMED_U64", "not-a-number");
         assert_eq!(env_u64("DCFB_TEST_MALFORMED_U64", 13), 13);
         std::env::remove_var("DCFB_TEST_MALFORMED_U64");
+    }
+
+    #[test]
+    fn env_warning_is_emitted_exactly_once_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A malformed value hammered from four worker threads must
+        // produce exactly one warning (the variable is read and
+        // memoized on first access), not one per worker per call.
+        std::env::set_var("DCFB_TEST_WARN_ONCE", "banana");
+        let warnings = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let (v, warn) = env_u64_memo("DCFB_TEST_WARN_ONCE", 9);
+                        assert_eq!(v, 9);
+                        if warn.is_some() {
+                            warnings.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(warnings.load(Ordering::SeqCst), 1);
+        std::env::remove_var("DCFB_TEST_WARN_ONCE");
     }
 
     #[test]

@@ -1,0 +1,663 @@
+//! The parallel sweep executor and the `bench-sweep` perf harness.
+//!
+//! Every `(workload, method)` simulation in this reproduction is an
+//! independent deterministic computation (fixed [`crate::runs::TRACE_SEED`],
+//! own `Simulator`, shared read-only `ProgramImage`), so the sweep is
+//! embarrassingly parallel. [`parallel_map`] runs a fixed item list on a
+//! small worker pool (`DCFB_JOBS`, default = available parallelism) and
+//! returns results **in item order**: workers pull the next index from an
+//! atomic counter and write into that index's slot, so the merged output
+//! is byte-identical to a sequential run regardless of completion order.
+//!
+//! The second half of this module is the perf-trajectory harness behind
+//! `dcfb bench-sweep`: it times the sweep sequentially and in parallel,
+//! times single-run engine throughput (simulated instructions per
+//! second), and writes the results as `BENCH_sweep.json` so later PRs
+//! can compare against the recorded trajectory.
+
+use crate::runs::{self, measure_instrs, warmup_instrs, workloads};
+use dcfb_errors::DcfbError;
+use dcfb_sim::{SimConfig, SimReport};
+use dcfb_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable selecting the worker-pool size.
+pub const JOBS_ENV: &str = "DCFB_JOBS";
+
+/// The worker-pool size: `DCFB_JOBS` when set (0 is treated as 1),
+/// otherwise the host's available parallelism.
+pub fn jobs() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    (runs::env_u64(JOBS_ENV, default as u64) as usize).max(1)
+}
+
+fn lock_slot<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Maps `f` over `items` on a pool of [`jobs`] worker threads,
+/// returning results in item order (deterministic merge).
+///
+/// A panic inside `f` propagates to the caller once the pool joins —
+/// the same observable behavior as a panic in a sequential loop, which
+/// keeps the figure-level `catch_unwind` in `all_experiments` working
+/// unchanged under parallel execution.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_jobs(items, jobs(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by the timing
+/// harness to compare `jobs = 1` against `jobs = N` directly).
+pub fn parallel_map_jobs<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        // Plain in-thread loop: no pool, no synchronization.
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *lock_slot(&slots[i]) = Some(r);
+            });
+        }
+    });
+    // A worker panic re-raises at scope exit, so reaching this point
+    // means every slot was filled exactly once.
+    let out: Vec<R> = slots
+        .into_iter()
+        .filter_map(|slot| match slot.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+        .collect();
+    assert_eq!(out.len(), n, "worker pool lost results");
+    out
+}
+
+/// Scale and shape of one `bench-sweep` measurement.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Warmup instructions per run.
+    pub warmup: u64,
+    /// Measured instructions per run.
+    pub measure: u64,
+    /// Worker count for the parallel pass.
+    pub jobs: usize,
+    /// Methods crossed with every workload.
+    pub methods: Vec<String>,
+}
+
+impl Default for SweepOptions {
+    /// Scale from the `DCFB_WARMUP`/`DCFB_MEASURE` environment, jobs
+    /// from `DCFB_JOBS`, and a four-method cross-section of the paper's
+    /// sweep (baseline, sequential, the proposed method, BTB-directed).
+    fn default() -> Self {
+        SweepOptions {
+            warmup: warmup_instrs(),
+            measure: measure_instrs(),
+            jobs: jobs(),
+            methods: ["Baseline", "N4L", "SN4L+Dis+BTB", "Shotgun"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+        }
+    }
+}
+
+/// The measurements `bench-sweep` records (serialized as
+/// `BENCH_sweep.json`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSweepReport {
+    /// Schema tag ([`BENCH_SWEEP_SCHEMA`]).
+    pub schema: String,
+    /// Cores the host reports.
+    pub host_cores: u64,
+    /// Worker count used for the parallel pass.
+    pub jobs: u64,
+    /// Workloads in the sweep.
+    pub workloads: u64,
+    /// Methods in the sweep.
+    pub methods: u64,
+    /// Total `(workload, method)` runs per pass.
+    pub runs: u64,
+    /// Warmup instructions per run.
+    pub warmup_instrs: u64,
+    /// Measured instructions per run.
+    pub measure_instrs: u64,
+    /// Wall-clock seconds for the sequential pass.
+    pub seq_seconds: f64,
+    /// Wall-clock seconds for the parallel pass.
+    pub par_seconds: f64,
+    /// `seq_seconds / par_seconds`.
+    pub sweep_speedup: f64,
+    /// Whether the parallel pass reproduced the sequential reports
+    /// bit-for-bit.
+    pub deterministic: bool,
+    /// Instructions simulated by each single-run timing (warmup +
+    /// measure).
+    pub single_run_instrs: u64,
+    /// Single-run throughput, baseline config (simulated instrs/sec).
+    pub single_run_baseline_ips: f64,
+    /// Single-run throughput, SN4L+Dis+BTB config (simulated
+    /// instrs/sec).
+    pub single_run_dcfb_ips: f64,
+}
+
+/// Schema tag for `BENCH_sweep.json`.
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v1";
+
+fn sweep_config(method: &str, opts: &SweepOptions) -> Result<SimConfig, DcfbError> {
+    let mut cfg = runs::try_method_config(method)?;
+    cfg.warmup_instrs = opts.warmup;
+    cfg.measure_instrs = opts.measure;
+    Ok(cfg)
+}
+
+/// A comparable digest of one report; identical digests mean the runs
+/// produced bit-identical results.
+fn digest(r: &SimReport) -> String {
+    format!("{r:?}")
+}
+
+/// Runs the timed sweep: one sequential pass, one parallel pass at
+/// `opts.jobs`, plus two single-run throughput timings. Both passes
+/// execute the identical `(workload, method)` cross product.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::UnknownMethod`] for a bad method name in
+/// `opts.methods`.
+pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbError> {
+    let ws = workloads();
+    let mut pairs: Vec<(Workload, SimConfig)> = Vec::new();
+    for m in &opts.methods {
+        let cfg = sweep_config(m, opts)?;
+        for w in &ws {
+            pairs.push((w.clone(), cfg.clone()));
+        }
+    }
+    // Warm the image cache outside the timed region so both passes
+    // measure simulation throughput, not one-time image construction.
+    for (w, cfg) in &pairs {
+        let _ = runs::image_for(w, cfg.isa);
+    }
+
+    let t0 = Instant::now();
+    let seq: Vec<SimReport> = pairs.iter().map(|(w, cfg)| runs::run(w, cfg.clone())).collect();
+    let seq_seconds = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t1 = Instant::now();
+    let par: Vec<SimReport> =
+        parallel_map_jobs(pairs.clone(), opts.jobs, |(w, cfg)| runs::run(w, cfg.clone()));
+    let par_seconds = t1.elapsed().as_secs_f64().max(1e-9);
+
+    let deterministic = seq.len() == par.len()
+        && seq.iter().zip(par.iter()).all(|(a, b)| digest(a) == digest(b));
+
+    let single_run_instrs = opts.warmup + opts.measure;
+    let single_ips = |method: &str| -> Result<f64, DcfbError> {
+        let cfg = sweep_config(method, opts)?;
+        let w = ws.first().cloned();
+        let Some(w) = w else {
+            return Ok(0.0);
+        };
+        let t = Instant::now();
+        let _ = runs::run(&w, cfg);
+        Ok(single_run_instrs as f64 / t.elapsed().as_secs_f64().max(1e-9))
+    };
+    let single_run_baseline_ips = single_ips("Baseline")?;
+    let single_run_dcfb_ips = single_ips("SN4L+Dis+BTB")?;
+
+    Ok(BenchSweepReport {
+        schema: BENCH_SWEEP_SCHEMA.to_owned(),
+        host_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1) as u64,
+        jobs: opts.jobs as u64,
+        workloads: ws.len() as u64,
+        methods: opts.methods.len() as u64,
+        runs: pairs.len() as u64,
+        warmup_instrs: opts.warmup,
+        measure_instrs: opts.measure,
+        seq_seconds,
+        par_seconds,
+        sweep_speedup: seq_seconds / par_seconds,
+        deterministic,
+        single_run_instrs,
+        single_run_baseline_ips,
+        single_run_dcfb_ips,
+    })
+}
+
+impl BenchSweepReport {
+    /// Serializes as a flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut put = |key: &str, value: String, last: bool| {
+            out.push_str("  \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(&value);
+            if !last {
+                out.push(',');
+            }
+            out.push('\n');
+        };
+        put("schema", format!("\"{}\"", self.schema), false);
+        put("host_cores", self.host_cores.to_string(), false);
+        put("jobs", self.jobs.to_string(), false);
+        put("workloads", self.workloads.to_string(), false);
+        put("methods", self.methods.to_string(), false);
+        put("runs", self.runs.to_string(), false);
+        put("warmup_instrs", self.warmup_instrs.to_string(), false);
+        put("measure_instrs", self.measure_instrs.to_string(), false);
+        put("seq_seconds", format_f64(self.seq_seconds), false);
+        put("par_seconds", format_f64(self.par_seconds), false);
+        put("sweep_speedup", format_f64(self.sweep_speedup), false);
+        put("deterministic", self.deterministic.to_string(), false);
+        put("single_run_instrs", self.single_run_instrs.to_string(), false);
+        put(
+            "single_run_baseline_ips",
+            format_f64(self.single_run_baseline_ips),
+            false,
+        );
+        put("single_run_dcfb_ips", format_f64(self.single_run_dcfb_ips), true);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the flat JSON object written by [`BenchSweepReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`DcfbError::Config`] on malformed JSON or missing/mistyped
+    /// fields.
+    pub fn from_json(text: &str) -> Result<Self, DcfbError> {
+        let fields = parse_flat_object(text)?;
+        let get = |key: &str| -> Result<&JsonScalar, DcfbError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DcfbError::Config(format!("BENCH_sweep.json: missing field {key:?}")))
+        };
+        let u64_field = |key: &str| -> Result<u64, DcfbError> {
+            match get(key)? {
+                JsonScalar::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as u64),
+                other => Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field {key:?} must be an unsigned integer, got {other:?}"
+                ))),
+            }
+        };
+        let f64_field = |key: &str| -> Result<f64, DcfbError> {
+            match get(key)? {
+                JsonScalar::Number(n) => Ok(*n),
+                other => Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field {key:?} must be a number, got {other:?}"
+                ))),
+            }
+        };
+        let schema = match get("schema")? {
+            JsonScalar::String(s) => s.clone(),
+            other => {
+                return Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field \"schema\" must be a string, got {other:?}"
+                )))
+            }
+        };
+        let deterministic = match get("deterministic")? {
+            JsonScalar::Bool(b) => *b,
+            other => {
+                return Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field \"deterministic\" must be a boolean, got {other:?}"
+                )))
+            }
+        };
+        Ok(BenchSweepReport {
+            schema,
+            host_cores: u64_field("host_cores")?,
+            jobs: u64_field("jobs")?,
+            workloads: u64_field("workloads")?,
+            methods: u64_field("methods")?,
+            runs: u64_field("runs")?,
+            warmup_instrs: u64_field("warmup_instrs")?,
+            measure_instrs: u64_field("measure_instrs")?,
+            seq_seconds: f64_field("seq_seconds")?,
+            par_seconds: f64_field("par_seconds")?,
+            sweep_speedup: f64_field("sweep_speedup")?,
+            deterministic,
+            single_run_instrs: u64_field("single_run_instrs")?,
+            single_run_baseline_ips: f64_field("single_run_baseline_ips")?,
+            single_run_dcfb_ips: f64_field("single_run_dcfb_ips")?,
+        })
+    }
+
+    /// Structural validity: the schema tag matches and every metric is
+    /// non-empty and internally consistent. This is what the verify
+    /// flow checks after a smoke sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`DcfbError::Config`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), DcfbError> {
+        let fail = |what: &str| Err(DcfbError::Config(format!("BENCH_sweep.json invalid: {what}")));
+        if self.schema != BENCH_SWEEP_SCHEMA {
+            return fail(&format!(
+                "schema {:?} != {BENCH_SWEEP_SCHEMA:?}",
+                self.schema
+            ));
+        }
+        if self.host_cores < 1 || self.jobs < 1 {
+            return fail("host_cores and jobs must be >= 1");
+        }
+        if self.workloads < 1 || self.methods < 1 {
+            return fail("workloads and methods must be non-empty");
+        }
+        if self.runs != self.workloads * self.methods {
+            return fail("runs must equal workloads * methods");
+        }
+        if self.warmup_instrs + self.measure_instrs == 0 {
+            return fail("warmup + measure must be non-zero");
+        }
+        if self.seq_seconds <= 0.0
+            || self.par_seconds <= 0.0
+            || !self.seq_seconds.is_finite()
+            || !self.par_seconds.is_finite()
+        {
+            return fail("pass timings must be positive");
+        }
+        let ratio = self.seq_seconds / self.par_seconds;
+        if !(self.sweep_speedup > 0.0 && (self.sweep_speedup - ratio).abs() <= 1e-6 * ratio.max(1.0))
+        {
+            return fail("sweep_speedup must equal seq_seconds / par_seconds");
+        }
+        if !self.deterministic {
+            return fail("parallel pass diverged from the sequential pass");
+        }
+        let ips_ok = |x: f64| x.is_finite() && x > 0.0;
+        if self.single_run_instrs == 0
+            || !ips_ok(self.single_run_baseline_ips)
+            || !ips_ok(self.single_run_dcfb_ips)
+        {
+            return fail("single-run throughput metrics must be positive");
+        }
+        Ok(())
+    }
+}
+
+fn format_f64(x: f64) -> String {
+    // Rust's shortest-roundtrip Display is JSON-compatible for finite
+    // values; timings are clamped positive before they get here.
+    if x.is_finite() {
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+/// One scalar JSON value in the flat `BENCH_sweep.json` object.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonScalar {
+    String(String),
+    Number(f64),
+    Bool(bool),
+}
+
+/// Parses a flat JSON object of scalar values (string, number, true,
+/// false) — exactly the shape [`BenchSweepReport::to_json`] writes.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonScalar)>, DcfbError> {
+    let mut p = Scanner {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let value = p.scalar()?;
+            out.push((key, value));
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(p.err("expected ',' or '}'")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(out)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn err(&self, what: &str) -> DcfbError {
+        DcfbError::Config(format!("malformed bench-sweep JSON at byte {}: {what}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\n' | b'\r' | b'\t') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DcfbError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DcfbError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?;
+                if s.contains('\\') {
+                    return Err(self.err("escapes are not used in bench-sweep JSON"));
+                }
+                self.pos += 1;
+                return Ok(s.to_owned());
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn scalar(&mut self) -> Result<JsonScalar, DcfbError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonScalar::String(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonScalar::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonScalar::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if matches!(b, b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(JsonScalar::Number)
+                    .ok_or_else(|| self.err("bad number"))
+            }
+            _ => Err(self.err("expected a scalar value")),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for jobs in [1, 2, 8] {
+            let out = parallel_map_jobs(items.clone(), jobs, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let out: Vec<u64> = parallel_map_jobs(Vec::<u64>::new(), 8, |&x| x);
+        assert!(out.is_empty());
+        let out = parallel_map_jobs(vec![41u64], 8, |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_jobs((0..16).collect::<Vec<u64>>(), 4, |&x| {
+                assert!(x != 7, "injected fault");
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+
+    fn sample_report() -> BenchSweepReport {
+        BenchSweepReport {
+            schema: BENCH_SWEEP_SCHEMA.to_owned(),
+            host_cores: 4,
+            jobs: 4,
+            workloads: 2,
+            methods: 4,
+            runs: 8,
+            warmup_instrs: 10_000,
+            measure_instrs: 50_000,
+            seq_seconds: 2.0,
+            par_seconds: 0.8,
+            sweep_speedup: 2.5,
+            deterministic: true,
+            single_run_instrs: 60_000,
+            single_run_baseline_ips: 1.5e6,
+            single_run_dcfb_ips: 1.1e6,
+        }
+    }
+
+    #[test]
+    fn bench_sweep_json_round_trips_and_validates() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back = BenchSweepReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let mut r = sample_report();
+        r.schema = "wrong".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.runs = 5; // != workloads * methods
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.par_seconds = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.sweep_speedup = 99.0; // inconsistent with the timings
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.deterministic = false;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.single_run_dcfb_ips = 0.0;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"schema\": }",
+            "{\"schema\": \"x\"} trailing",
+            "[1, 2]",
+            "{\"schema\": \"x\", \"jobs\": \"not-a-number\"}",
+        ] {
+            assert!(BenchSweepReport::from_json(bad).is_err(), "{bad:?}");
+        }
+        // Missing fields are typed errors too.
+        let err = BenchSweepReport::from_json("{\"schema\": \"dcfb-bench-sweep-v1\"}").unwrap_err();
+        assert!(matches!(err, DcfbError::Config(_)));
+    }
+}

@@ -4,6 +4,8 @@
 //! second invocation with `DCFB_RESUME=1` must skip every checkpointed
 //! figure and regenerate only the failed one.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::path::PathBuf;
 use std::process::Command;
 

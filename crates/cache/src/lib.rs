@@ -19,5 +19,5 @@ pub mod prefetch_buffer;
 pub use cache::{CacheConfig, CacheStats, Evicted, LineFlags, SetAssocCache};
 pub use dvllc::{DvLlc, DvLlcStats};
 pub use footprint::BranchFootprint;
-pub use mshr::{MshrFile, MshrOutcome};
+pub use mshr::{Completion, MshrFile, MshrOutcome};
 pub use prefetch_buffer::PrefetchBuffer;

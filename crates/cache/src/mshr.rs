@@ -125,6 +125,15 @@ impl MshrFile {
     /// `now`, in completion order.
     pub fn drain_ready(&mut self, now: u64) -> Vec<Completion> {
         let mut done: Vec<Completion> = Vec::new();
+        self.drain_ready_into(now, &mut done);
+        done
+    }
+
+    /// Allocation-free variant of [`MshrFile::drain_ready`]: appends
+    /// completions to `done` (cleared first) so the per-cycle fill loop
+    /// can reuse one scratch vector.
+    pub fn drain_ready_into(&mut self, now: u64, done: &mut Vec<Completion>) {
+        done.clear();
         self.entries.retain(|e| {
             if e.ready_at <= now {
                 done.push(Completion {
@@ -140,7 +149,6 @@ impl MshrFile {
             }
         });
         done.sort_by_key(|c| c.ready_at);
-        done
     }
 
     /// Number of outstanding entries.

@@ -16,6 +16,11 @@ COMMANDS:
     compare              Compare several methods on one workload
     analyze              Timing-free trace analyses for one workload
     sweep-btb            Ours-vs-Shotgun as the BTB shrinks (Fig. 18)
+    bench-sweep          Time the experiment sweep (sequential vs
+                         parallel) and engine throughput; writes
+                         BENCH_sweep.json (--out overrides). Scale and
+                         worker count come from DCFB_WARMUP,
+                         DCFB_MEASURE, DCFB_WORKLOADS and DCFB_JOBS
     record               Write a workload trace to a file
     replay               Simulate an external trace file
     help                 Show this message

@@ -173,6 +173,42 @@ pub fn sweep_btb(cli: &Cli) -> Result<(), DcfbError> {
     Ok(())
 }
 
+/// `dcfb bench-sweep` — the perf-trajectory harness: times the
+/// experiment sweep sequentially and in parallel (`DCFB_JOBS` workers),
+/// measures single-run engine throughput, and writes the validated
+/// measurements as JSON (default `BENCH_sweep.json`).
+pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
+    let opts = dcfb_bench::SweepOptions::default();
+    eprintln!(
+        "bench-sweep: {} workloads x {} methods, warmup {} / measure {}, {} jobs",
+        dcfb_bench::workloads().len(),
+        opts.methods.len(),
+        opts.warmup,
+        opts.measure,
+        opts.jobs
+    );
+    let report = dcfb_bench::run_bench_sweep(&opts)?;
+    report.validate()?;
+    let out = cli.out.as_deref().unwrap_or("BENCH_sweep.json");
+    std::fs::write(out, report.to_json()).map_err(|e| DcfbError::io(out, &e))?;
+    println!(
+        "sweep: {} runs, sequential {:.2}s, parallel {:.2}s ({} jobs, {} cores) -> {:.2}x, deterministic: {}",
+        report.runs,
+        report.seq_seconds,
+        report.par_seconds,
+        report.jobs,
+        report.host_cores,
+        report.sweep_speedup,
+        report.deterministic
+    );
+    println!(
+        "single-run throughput: Baseline {:.0} instrs/s, SN4L+Dis+BTB {:.0} instrs/s",
+        report.single_run_baseline_ips, report.single_run_dcfb_ips
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn print_report(r: &SimReport, base: &SimReport) {
     println!("workload : {}", r.workload);
     println!("method   : {}", r.method);

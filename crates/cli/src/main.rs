@@ -6,6 +6,7 @@
 //! dcfb compare  --workload "Web (Apache)" [--methods a,b,c] [options]
 //! dcfb analyze  --workload "Media Streaming" [options]
 //! dcfb sweep-btb --workload "OLTP (DB A)" [options]
+//! dcfb bench-sweep [--out BENCH_sweep.json]
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! ```
@@ -43,6 +44,7 @@ fn main() {
         "compare" => commands::compare(&cli),
         "analyze" => commands::analyze(&cli),
         "sweep-btb" => commands::sweep_btb(&cli),
+        "bench-sweep" => commands::bench_sweep(&cli),
         "record" => commands::record(&cli),
         "replay" => commands::replay(&cli),
         "help" | "--help" | "-h" => {

@@ -9,12 +9,15 @@
 
 use dcfb_frontend::BtbEntry;
 use dcfb_trace::{block_of, Addr, Block};
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct BufEntry {
     block: Block,
     stamp: u64,
-    branches: Vec<BtbEntry>,
+    /// Shared with the pre-decode cache: a fill stores the `Arc`, not a
+    /// copy of the branch set.
+    branches: Arc<[BtbEntry]>,
 }
 
 /// A small set-associative buffer of pre-decoded block branch sets.
@@ -62,7 +65,7 @@ impl BtbPrefetchBuffer {
 
     /// Stores the branches of `block`, replacing the set's LRU entry.
     /// Empty branch sets are ignored.
-    pub fn fill(&mut self, block: Block, branches: Vec<BtbEntry>) {
+    pub fn fill(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
         if branches.is_empty() {
             return;
         }
@@ -96,7 +99,7 @@ impl BtbPrefetchBuffer {
     /// Looks for the branch at `pc`; on a hit, removes and returns the
     /// *whole block entry's* branches (they move into the BTB together,
     /// §V-C).
-    pub fn take_for(&mut self, pc: Addr) -> Option<Vec<BtbEntry>> {
+    pub fn take_for(&mut self, pc: Addr) -> Option<Arc<[BtbEntry]>> {
         self.lookups += 1;
         let block = block_of(pc);
         let base = self.base(block);
@@ -153,7 +156,7 @@ mod tests {
     fn fill_take_roundtrip() {
         let mut b = BtbPrefetchBuffer::paper_sized();
         let pc = 100 * 64 + 8;
-        b.fill(100, vec![entry(pc, 0x999), entry(pc + 4, 0x888)]);
+        b.fill(100, vec![entry(pc, 0x999), entry(pc + 4, 0x888)].into());
         assert!(b.contains_branch(pc));
         assert!(b.contains_branch(pc + 4));
         let branches = b.take_for(pc).unwrap();
@@ -166,7 +169,7 @@ mod tests {
     #[test]
     fn miss_on_absent_branch() {
         let mut b = BtbPrefetchBuffer::paper_sized();
-        b.fill(100, vec![entry(100 * 64, 1)]);
+        b.fill(100, vec![entry(100 * 64, 1)].into());
         assert!(b.take_for(100 * 64 + 32).is_none());
         assert!(b.take_for(101 * 64).is_none());
     }
@@ -174,7 +177,7 @@ mod tests {
     #[test]
     fn empty_fill_ignored() {
         let mut b = BtbPrefetchBuffer::paper_sized();
-        b.fill(7, vec![]);
+        b.fill(7, Vec::new().into());
         assert_eq!(b.counters().0, 0);
     }
 
@@ -182,11 +185,11 @@ mod tests {
     fn lru_within_set() {
         let mut b = BtbPrefetchBuffer::new(4, 2); // 2 sets
         // Blocks 0, 2, 4 all map to set 0.
-        b.fill(0, vec![entry(0, 1)]);
-        b.fill(2, vec![entry(2 * 64, 1)]);
+        b.fill(0, vec![entry(0, 1)].into());
+        b.fill(2, vec![entry(2 * 64, 1)].into());
         // Touch block 0's entry via refill to make block 2 LRU.
-        b.fill(0, vec![entry(0, 9)]);
-        b.fill(4, vec![entry(4 * 64, 1)]);
+        b.fill(0, vec![entry(0, 9)].into());
+        b.fill(4, vec![entry(4 * 64, 1)].into());
         assert!(b.contains_branch(0));
         assert!(!b.contains_branch(2 * 64));
         assert!(b.contains_branch(4 * 64));
@@ -195,8 +198,8 @@ mod tests {
     #[test]
     fn refill_updates_in_place() {
         let mut b = BtbPrefetchBuffer::paper_sized();
-        b.fill(5, vec![entry(5 * 64, 1)]);
-        b.fill(5, vec![entry(5 * 64, 2), entry(5 * 64 + 8, 3)]);
+        b.fill(5, vec![entry(5 * 64, 1)].into());
+        b.fill(5, vec![entry(5 * 64, 2), entry(5 * 64 + 8, 3)].into());
         let taken = b.take_for(5 * 64).unwrap();
         assert_eq!(taken.len(), 2);
         assert_eq!(taken[0].target, 2);

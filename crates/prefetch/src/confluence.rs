@@ -15,7 +15,7 @@
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
 use dcfb_trace::Block;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// SHIFT engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +44,9 @@ pub struct Confluence {
     history: Vec<Block>,
     head: usize,
     filled: bool,
-    index: HashMap<Block, usize>,
+    /// block → most recent history position; FxHash keyed by the
+    /// simulator's own block ids (hot on every record/locate).
+    index: FxHashMap<Block, usize>,
     last_recorded: Option<Block>,
     /// Active replay pointer into `history` (next position to prefetch).
     replay: Option<usize>,
@@ -69,7 +71,7 @@ impl Confluence {
             history: vec![0; cfg.history_entries],
             head: 0,
             filled: false,
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             last_recorded: None,
             replay: None,
             credits: 0,

@@ -7,6 +7,7 @@
 
 use dcfb_frontend::BtbEntry;
 use dcfb_trace::{Addr, Block, Instr};
+use std::sync::Arc;
 
 /// The machine surface a prefetcher may use.
 pub trait PrefetchContext {
@@ -25,8 +26,10 @@ pub trait PrefetchContext {
 
     /// Pre-decodes `block`, returning every branch found. In hardware
     /// this requires the block's bytes (resident or just arrived); the
-    /// simulator enforces availability.
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry>;
+    /// simulator enforces availability. The result is a shared slice so
+    /// the machine can serve repeat decodes of a static block from a
+    /// per-block cache instead of re-allocating.
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]>;
 
     /// Pre-decodes only the instruction at `byte_offset` of `block`
     /// (the Dis replay path). Returns `None` if it is not a branch.
@@ -37,8 +40,10 @@ pub trait PrefetchContext {
     /// Does not disturb BTB statistics.
     fn btb_target(&mut self, pc: Addr) -> Option<Addr>;
 
-    /// Deposits pre-decoded branches into the BTB prefetch buffer.
-    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]);
+    /// Deposits pre-decoded branches into the BTB prefetch buffer. The
+    /// shared slice from [`PrefetchContext::predecode`] is stored as-is
+    /// (no per-event copy of the branch set).
+    fn fill_btb_buffer(&mut self, block: Block, branches: Arc<[BtbEntry]>);
 }
 
 /// The last two demanded instructions, which the Dis prefetcher decodes
@@ -138,8 +143,9 @@ pub trait RunaheadContext {
     /// (resident in the L1i — in-flight blocks are not yet decodable).
     fn block_present(&self, block: Block) -> bool;
 
-    /// Pre-decodes `block`, returning its branches.
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry>;
+    /// Pre-decodes `block`, returning its branches as a shared slice
+    /// (see [`PrefetchContext::predecode`]).
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]>;
 }
 
 /// A scriptable context for unit tests.
@@ -197,8 +203,17 @@ impl RunaheadContext for MockContext {
         self.resident.contains(&block)
     }
 
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
-        self.code.get(&block).cloned().unwrap_or_default()
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
+        self.decode_arc(block)
+    }
+}
+
+impl MockContext {
+    fn decode_arc(&self, block: Block) -> Arc<[BtbEntry]> {
+        self.code
+            .get(&block)
+            .map(|v| Arc::from(v.as_slice()))
+            .unwrap_or_else(|| Arc::from([].as_slice()))
     }
 }
 
@@ -217,8 +232,8 @@ impl PrefetchContext for MockContext {
         self.resident.insert(block); // arrives eventually; tests treat as in-flight
     }
 
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
-        self.code.get(&block).cloned().unwrap_or_default()
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
+        self.decode_arc(block)
     }
 
     fn decode_branch_at(&mut self, block: Block, byte_offset: u32) -> Option<BtbEntry> {
@@ -233,7 +248,7 @@ impl PrefetchContext for MockContext {
         self.btb.get(&pc).copied()
     }
 
-    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]) {
+    fn fill_btb_buffer(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
         self.btb_buffer_fills.push((block, branches.to_vec()));
     }
 }

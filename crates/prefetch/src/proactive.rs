@@ -221,7 +221,7 @@ impl Sn4lDisBtb {
             if self.cfg.btb_prefetch {
                 let branches = ctx.predecode(block);
                 self.stats.predecoded += 1;
-                ctx.fill_btb_buffer(block, &branches);
+                ctx.fill_btb_buffer(block, branches);
             }
             self.push_trigger(block, depth, src == Source::Dis);
         }
@@ -304,7 +304,7 @@ impl InstrPrefetcher for Sn4lDisBtb {
         if self.cfg.btb_prefetch && !hit {
             let branches = ctx.predecode(block);
             self.stats.predecoded += 1;
-            ctx.fill_btb_buffer(block, &branches);
+            ctx.fill_btb_buffer(block, branches);
         }
         // Proactive trigger at depth 0.
         self.push_trigger(block, 0, true);

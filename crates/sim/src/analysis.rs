@@ -17,7 +17,7 @@
 use dcfb_cache::{CacheConfig, LineFlags, SetAssocCache};
 use dcfb_trace::{block_of, Block, Instr, InstrStream};
 use dcfb_workloads::ProgramImage;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Replays `stream` (up to `limit` instructions) against a functional
 /// L1i and returns `(sequential_misses, discontinuity_misses)`.
@@ -65,8 +65,8 @@ pub fn pattern_predictability<S: InstrStream>(
 ) -> f64 {
     let mut cache = SetAssocCache::new(l1i);
     // Live pattern per resident block, last completed pattern per block.
-    let mut live: HashMap<Block, u8> = HashMap::new();
-    let mut last: HashMap<Block, u8> = HashMap::new();
+    let mut live: FxHashMap<Block, u8> = FxHashMap::default();
+    let mut last: FxHashMap<Block, u8> = FxHashMap::default();
     let mut matches = 0u64;
     let mut total = 0u64;
     let mut prev: Option<Block> = None;
@@ -111,7 +111,7 @@ pub fn pattern_predictability<S: InstrStream>(
 /// of discontinuities caused by the same branch as the previous one
 /// from the same block.
 pub fn discontinuity_stability<S: InstrStream>(stream: &mut S, limit: u64) -> f64 {
-    let mut last_branch_from: HashMap<Block, u64> = HashMap::new();
+    let mut last_branch_from: FxHashMap<Block, u64> = FxHashMap::default();
     let mut same = 0u64;
     let mut total = 0u64;
     let mut prev_instr: Option<Instr> = None;
@@ -176,7 +176,7 @@ pub fn bf_per_set_coverage<S: InstrStream>(
     assert!(llc_sets.is_power_of_two(), "LLC sets must be a power of two");
     // LRU-ish per-set tracking of instruction blocks with a bounded
     // window per set (models which BFs compete for slots).
-    let mut sets: HashMap<usize, Vec<Block>> = HashMap::new();
+    let mut sets: FxHashMap<usize, Vec<Block>> = FxHashMap::default();
     let mut covered = 0u64;
     let mut total = 0u64;
     let mut prev: Option<Block> = None;

@@ -22,7 +22,7 @@
 
 use crate::config::{PrefetcherKind, SimConfig};
 use crate::metrics::SimReport;
-use dcfb_cache::{LineFlags, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
+use dcfb_cache::{Completion, LineFlags, MshrFile, MshrOutcome, PrefetchBuffer, SetAssocCache};
 use dcfb_errors::DcfbError;
 use dcfb_frontend::{
     BranchClass, Btb, BtbEntry, Ftq, Predecoder, ReturnAddressStack, Tage, TageConfig,
@@ -35,7 +35,7 @@ use dcfb_prefetch::{
 use dcfb_trace::{block_of, Addr, Block, CodeMemory, Instr, InstrKind, InstrStream};
 use dcfb_uncore::Uncore;
 use dcfb_workloads::ProgramImage;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 use std::sync::Arc;
 
 /// Counters accumulated while running (reset after warmup).
@@ -77,7 +77,15 @@ struct Machine {
     recent: RecentInstrs,
     prev_demand_block: Option<Block>,
     /// Latency of completed prefetches still resident (CMAL accounting).
-    prefetch_latency: HashMap<Block, u64>,
+    /// FxHash: touched on every prefetch fill/evict/demand hit.
+    prefetch_latency: FxHashMap<Block, u64>,
+    /// Pre-decode results per static block. Valid only for
+    /// self-describing encodings (Fixed4), where a block always decodes
+    /// the same way; variable-length decoding depends on the DV-LLC's
+    /// current branch footprint and is never cached.
+    predecode_cache: FxHashMap<Block, Arc<[BtbEntry]>>,
+    /// Reused per-cycle scratch for MSHR completions.
+    fill_scratch: Vec<Completion>,
     perfect_l1i: bool,
     stats: RawStats,
     tage_predictions: u64,
@@ -107,7 +115,9 @@ impl Machine {
             workload_name,
             recent: RecentInstrs::default(),
             prev_demand_block: None,
-            prefetch_latency: HashMap::new(),
+            prefetch_latency: FxHashMap::default(),
+            predecode_cache: FxHashMap::default(),
+            fill_scratch: Vec::new(),
             perfect_l1i: cfg.perfect_l1i,
             stats: RawStats::default(),
             tage_predictions: 0,
@@ -116,14 +126,24 @@ impl Machine {
     }
 
     /// Pre-decodes `block`, supplying a branch footprint from the
-    /// DV-LLC in variable-length mode.
-    fn predecode_block(&mut self, block: Block) -> Vec<BtbEntry> {
-        let code = Arc::clone(&self.code);
+    /// DV-LLC in variable-length mode. Fixed-width decodes are served
+    /// from a per-block cache: the program image is static, so a block
+    /// only ever decodes one way, and hot blocks are re-decoded by the
+    /// prefetchers thousands of times per run.
+    fn predecode_block(&mut self, block: Block) -> Arc<[BtbEntry]> {
         if self.predecoder.isa().self_describing_boundaries() {
-            self.predecoder.decode(&code, block, None).branches
+            if let Some(cached) = self.predecode_cache.get(&block) {
+                return Arc::clone(cached);
+            }
+            let code = Arc::clone(&self.code);
+            let branches: Arc<[BtbEntry]> =
+                self.predecoder.decode(&code, block, None).branches.into();
+            self.predecode_cache.insert(block, Arc::clone(&branches));
+            branches
         } else {
+            let code = Arc::clone(&self.code);
             let bf = self.uncore.dvllc_mut().and_then(|dv| dv.bf_lookup(block));
-            self.predecoder.decode(&code, block, bf.as_ref()).branches
+            self.predecoder.decode(&code, block, bf.as_ref()).branches.into()
         }
     }
 
@@ -146,8 +166,9 @@ impl Machine {
     /// Drains completed fetches into the L1i (or prefetch buffer),
     /// firing fill/evict hooks on `pf`.
     fn drain_fills(&mut self, mut pf: Option<&mut (dyn InstrPrefetcher + 'static)>) {
-        let done = self.mshr.drain_ready(self.cycle);
-        for c in done {
+        let mut done = std::mem::take(&mut self.fill_scratch);
+        self.mshr.drain_ready_into(self.cycle, &mut done);
+        for &c in &done {
             let into_buffer =
                 c.is_prefetch && !c.demand_waiting && self.pf_buffer.is_some();
             if into_buffer {
@@ -186,6 +207,7 @@ impl Machine {
                 p.on_fill(self, c.block, c.is_prefetch && !c.demand_waiting);
             }
         }
+        self.fill_scratch = done;
     }
 
     /// Outcome of a demand access.
@@ -306,7 +328,7 @@ impl PrefetchContext for Machine {
         self.request_below(block, true, extra_delay);
     }
 
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
         self.predecode_block(block)
     }
 
@@ -324,8 +346,8 @@ impl PrefetchContext for Machine {
         }
     }
 
-    fn fill_btb_buffer(&mut self, block: Block, branches: &[BtbEntry]) {
-        self.btb_buffer.fill(block, branches.to_vec());
+    fn fill_btb_buffer(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
+        self.btb_buffer.fill(block, branches);
     }
 }
 
@@ -358,7 +380,7 @@ impl RunaheadContext for Machine {
         self.l1i.contains(block)
     }
 
-    fn predecode(&mut self, block: Block) -> Vec<BtbEntry> {
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
         self.predecode_block(block)
     }
 }
@@ -725,7 +747,7 @@ impl Simulator {
                     // buffer first (§V-C), otherwise pay the
                     // decode-detect bubble.
                     if let Some(branches) = self.machine.btb_buffer.take_for(i.pc) {
-                        for b in branches {
+                        for b in branches.iter() {
                             let class = b.class;
                             let target = if b.target != 0 { b.target } else { i.target };
                             self.machine.btb.insert(BtbEntry {

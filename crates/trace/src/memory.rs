@@ -56,7 +56,7 @@ impl<T: CodeMemory + ?Sized> CodeMemory for std::sync::Arc<T> {
 /// know, and a conservative under-approximation for prefetchers.
 #[derive(Clone, Debug, Default)]
 pub struct RecordedCode {
-    blocks: std::collections::HashMap<Block, Vec<StaticInstr>>,
+    blocks: fxhash::FxHashMap<Block, Vec<StaticInstr>>,
 }
 
 impl RecordedCode {

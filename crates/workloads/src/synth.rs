@@ -23,7 +23,7 @@ pub struct Walker {
     cur_instr: u32,
     stack: Vec<(u32, u32)>, // (function, resume bb)
     /// Remaining trips of the loop at (function, bb), when active.
-    loop_counts: std::collections::HashMap<(u32, u32), u32>,
+    loop_counts: fxhash::FxHashMap<(u32, u32), u32>,
     emitted: u64,
     transactions: u64,
     max_depth_seen: usize,
@@ -41,7 +41,7 @@ impl Walker {
             cur_bb: 0,
             cur_instr: 0,
             stack: Vec::with_capacity(64),
-            loop_counts: std::collections::HashMap::new(),
+            loop_counts: fxhash::FxHashMap::default(),
             emitted: 0,
             transactions: 0,
             max_depth_seen: 0,

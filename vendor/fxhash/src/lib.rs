@@ -1,0 +1,141 @@
+//! Offline in-tree FxHash: the Firefox/rustc multiply-rotate-xor hash.
+//!
+//! The simulator's hot maps (`Block → latency`, predecode caches, loop
+//! trip counters) are keyed by small integers and sit on the per-cycle
+//! path, where SipHash's per-lookup cost dominates. FxHash replaces it
+//! with one rotate + xor + multiply per 8-byte word. It is **not**
+//! DoS-resistant — only use it for keys the simulator itself generates.
+//!
+//! Determinism note: unlike `std`'s `RandomState`, `FxBuildHasher` is a
+//! fixed function of the key, so map *iteration order* is identical
+//! across processes. The simulator never relies on map iteration order
+//! for results, but this property means a hasher swap can never
+//! introduce cross-process nondeterminism the way seeding differences
+//! could.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-seed `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// 64-bit odd constant from the Firefox hash (Fibonacci hashing scaled
+/// to 64 bits); one multiply spreads entropy across the high bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming state: `hash = (rotl(hash, 5) ^ word) * SEED`
+/// per 8-byte word, with the tail handled a word at a time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(word);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(hash_of(&key), hash_of(&key));
+        }
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn integer_writes_match_byte_writes_domain_separate() {
+        // Different widths of the same value may hash differently; what
+        // matters is each width is self-consistent and spreads values.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(hash_of(&i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh_tail1");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh_tail2");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, (i * 3) as u32);
+        }
+        assert_eq!(m.get(&42), Some(&126));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+}
