@@ -6,8 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dcfb_prefetch::context::MockContext;
 use dcfb_prefetch::{
-    Confluence, DiscontinuityPrefetcher, InstrPrefetcher, NextLine, RecentInstrs, Sn4l,
-    Sn4lDisBtb,
+    Confluence, DiscontinuityPrefetcher, InstrPrefetcher, NextLine, RecentInstrs, Sn4l, Sn4lDisBtb,
 };
 
 /// A synthetic demand-block pattern: mostly sequential runs with a

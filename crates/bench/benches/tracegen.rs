@@ -60,5 +60,10 @@ fn bench_predecode(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_image_build, bench_trace_generation, bench_predecode);
+criterion_group!(
+    benches,
+    bench_image_build,
+    bench_trace_generation,
+    bench_predecode
+);
 criterion_main!(benches);

@@ -63,7 +63,11 @@ fn main() {
     }
     // Deep sequential degree.
     for degree in [1u64, 2, 4] {
-        let name = if degree == 1 { "SN1L past discontinuities (paper)" } else { "" };
+        let name = if degree == 1 {
+            "SN1L past discontinuities (paper)"
+        } else {
+            ""
+        };
         let label = if name.is_empty() {
             format!("SN{degree}L past discontinuities")
         } else {

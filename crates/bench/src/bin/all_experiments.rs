@@ -90,7 +90,10 @@ fn main() {
             }
             Err(payload) => {
                 let msg = panic_message(payload.as_ref());
-                eprintln!("[{id}] FAILED after {:.1}s: {msg}", t0.elapsed().as_secs_f32());
+                eprintln!(
+                    "[{id}] FAILED after {:.1}s: {msg}",
+                    t0.elapsed().as_secs_f32()
+                );
                 failures.push((id.to_owned(), msg));
             }
         }
@@ -104,7 +107,10 @@ fn main() {
         });
         for rec in run_failures {
             if let dcfb_bench::runs::RunOutcome::Failed(e) = &rec.outcome {
-                failures.push((format!("{id}: {} on {}", rec.method, rec.workload), e.to_string()));
+                failures.push((
+                    format!("{id}: {} on {}", rec.method, rec.workload),
+                    e.to_string(),
+                ));
             }
         }
     }

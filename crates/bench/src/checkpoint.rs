@@ -111,7 +111,8 @@ impl Checkpoint {
     pub fn save(&self, path: &Path) -> Result<(), DcfbError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).map_err(|e| DcfbError::io(dir.display().to_string(), &e))?;
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| DcfbError::io(dir.display().to_string(), &e))?;
             }
         }
         std::fs::write(path, self.to_json())
@@ -340,19 +341,13 @@ mod tests {
             "{\"a\": \"unterminated}",
         ] {
             let err = Checkpoint::from_json(bad).unwrap_err();
-            assert!(
-                matches!(err, DcfbError::Config(_)),
-                "{bad:?} gave {err:?}"
-            );
+            assert!(matches!(err, DcfbError::Config(_)), "{bad:?} gave {err:?}");
         }
     }
 
     #[test]
     fn save_and_load_round_trip() {
-        let dir = std::env::temp_dir().join(format!(
-            "dcfb-checkpoint-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("dcfb-checkpoint-test-{}", std::process::id()));
         let path = dir.join("nested/checkpoint.json");
         let mut cp = Checkpoint::new();
         cp.put("fig16", "## Fig 16\nspeedups\n");

@@ -49,7 +49,10 @@ pub fn tab1_empty_ftq() -> Table {
         &["Workload", "Fraction of cycles"],
     );
     for (w, rep, _) in run_method_all("Shotgun") {
-        t.row(vec![w.name.to_owned(), Table::pct(rep.empty_ftq_fraction())]);
+        t.row(vec![
+            w.name.to_owned(),
+            Table::pct(rep.empty_ftq_fraction()),
+        ]);
     }
     t.note("Paper: 1.64% (OLTP DB B) to 18.87% (OLTP DB A).");
     t
@@ -115,7 +118,9 @@ pub fn fig04_cmal_nxl() -> Table {
         let cmal = if total > 0.0 { covered / total } else { 0.0 };
         t.row(vec![method.to_owned(), Table::pct(cmal)]);
     }
-    t.note("Paper: NL 65%, N2L 80%, N4L 88%, N8L 85% — N8L loses to N4L from self-inflicted traffic.");
+    t.note(
+        "Paper: NL 65%, N2L 80%, N4L 88%, N8L 85% — N8L loses to N4L from self-inflicted traffic.",
+    );
     t
 }
 
@@ -139,11 +144,7 @@ pub fn fig05_side_effects() -> Table {
             bw += rep.bandwidth_over(&base);
             n += 1.0;
         }
-        t.row(vec![
-            method.to_owned(),
-            Table::x(lat / n),
-            Table::x(bw / n),
-        ]);
+        t.row(vec![method.to_owned(), Table::x(lat / n), Table::x(bw / n)]);
     }
     t.note("Paper: N8L inflates LLC latency by 28% at 7.2x external bandwidth.");
     t
@@ -161,7 +162,8 @@ pub fn fig06_pattern_pred() -> Table {
     let rows = parallel_map(workloads(), |w| {
         let image = image_for(w, IsaMode::Fixed4);
         let mut walker = Walker::new(image, TRACE_SEED);
-        let p = analysis::pattern_predictability(&mut walker, dcfb_cache::CacheConfig::l1i(), limit);
+        let p =
+            analysis::pattern_predictability(&mut walker, dcfb_cache::CacheConfig::l1i(), limit);
         (w.name.to_owned(), p)
     });
     for (name, p) in rows {
@@ -183,7 +185,10 @@ pub fn fig07_branch_stability() -> Table {
     let rows = parallel_map(workloads(), |w| {
         let image = image_for(w, IsaMode::Fixed4);
         let mut walker = Walker::new(image, TRACE_SEED);
-        (w.name.to_owned(), analysis::discontinuity_stability(&mut walker, limit))
+        (
+            w.name.to_owned(),
+            analysis::discontinuity_stability(&mut walker, limit),
+        )
     });
     for (name, s) in rows {
         t.row(vec![name, Table::pct(s)]);
@@ -205,7 +210,10 @@ pub fn fig08_bf_branches() -> Table {
             analysis::branch_footprint_coverage(&image_for(w, IsaMode::Fixed4), per_bf)
         });
         let n = covs.len().max(1) as f64;
-        t.row(vec![per_bf.to_string(), Table::pct(covs.iter().sum::<f64>() / n)]);
+        t.row(vec![
+            per_bf.to_string(),
+            Table::pct(covs.iter().sum::<f64>() / n),
+        ]);
     }
     t.note("Paper: storing 4 branch offsets per 64 B block covers almost all branches.");
     t
@@ -228,7 +236,10 @@ pub fn fig09_bf_per_set() -> Table {
             analysis::bf_per_set_coverage(&mut walker, 2048, slots, limit)
         });
         let n = covs.len().max(1) as f64;
-        t.row(vec![slots.to_string(), Table::pct(covs.iter().sum::<f64>() / n)]);
+        t.row(vec![
+            slots.to_string(),
+            Table::pct(covs.iter().sum::<f64>() / n),
+        ]);
     }
     t.note("Paper: 2 slots leave ~2%, 3 leave 0.4%, 4 leave 0.2% of BFs uncovered.");
     t
@@ -257,7 +268,10 @@ pub fn fig11_table_sizes() -> Table {
         let cov = avg_coverage(PrefetcherKind::Sn4l {
             seq_entries: entries,
         });
-        t.row(vec![format!("SN4L, {}K SeqTable", entries / 1024), Table::pct(cov)]);
+        t.row(vec![
+            format!("SN4L, {}K SeqTable", entries / 1024),
+            Table::pct(cov),
+        ]);
     }
     let unlimited = avg_coverage(PrefetcherKind::Sn4l {
         seq_entries: 1 << 24,
@@ -277,7 +291,9 @@ pub fn fig11_table_sizes() -> Table {
     c.dis_tag = TagPolicy::Full;
     let unl = avg_coverage(PrefetcherKind::Sn4lDis(c));
     t.row(vec!["SN4L+Dis, unlimited".to_owned(), Table::pct(unl)]);
-    t.note("Paper: 16K-entry SeqTable gives 96% of unlimited coverage; 4K-entry DisTable gives 97%.");
+    t.note(
+        "Paper: 16K-entry SeqTable gives 96% of unlimited coverage; 4K-entry DisTable gives 97%.",
+    );
     t
 }
 
@@ -353,7 +369,10 @@ pub fn fig14_lookups() -> Table {
     }
     // RLU ablation: the combined engine without an effective RLU
     // (capacity 1) versus the paper's 8-entry filter.
-    for (label, rlu) in [("SN4L+Dis+BTB (RLU=1)", 1usize), ("SN4L+Dis+BTB (RLU=8)", 8)] {
+    for (label, rlu) in [
+        ("SN4L+Dis+BTB (RLU=1)", 1usize),
+        ("SN4L+Dis+BTB (RLU=8)", 8),
+    ] {
         let mut c = Sn4lDisConfig::default();
         c.rlu_entries = rlu;
         let mut cfg = scaled(SimConfig::default());
@@ -565,7 +584,12 @@ pub fn dvllc_impact() -> Table {
     let mut t = Table::new(
         "SVII-J",
         "DV-LLC impact on LLC hit ratios (variable-length ISA)",
-        &["Workload", "Instr hit (DV)", "Instr hit (off)", "Data-side capacity cost"],
+        &[
+            "Workload",
+            "Instr hit (DV)",
+            "Instr hit (off)",
+            "Data-side capacity cost",
+        ],
     );
     let subset: Vec<_> = workloads().into_iter().take(3).collect();
     let rows = parallel_map(subset, |w| {

@@ -3,6 +3,7 @@
 
 use dcfb_errors::{panic_message, DcfbError};
 use dcfb_sim::{SimConfig, SimReport, Simulator};
+use dcfb_telemetry::TelemetryReport;
 use dcfb_trace::IsaMode;
 use dcfb_workloads::{all_workloads, ProgramImage, Walker, Workload};
 use std::collections::HashMap;
@@ -180,6 +181,21 @@ pub fn run(workload: &Workload, cfg: SimConfig) -> SimReport {
     sim.run(&mut walker)
 }
 
+/// [`run`] with telemetry enabled, returning the finalized metrics
+/// alongside the report. Uses the cached image so timed callers measure
+/// simulation throughput, not image construction.
+pub fn run_profiled(workload: &Workload, mut cfg: SimConfig) -> (SimReport, TelemetryReport) {
+    cfg.telemetry = true;
+    let image = image_for(workload, cfg.isa);
+    let mut sim = Simulator::new(cfg, Arc::clone(&image));
+    let mut walker = Walker::new(image, TRACE_SEED);
+    let report = sim.run(&mut walker);
+    // Telemetry was enabled above, so the report is always present.
+    #[allow(clippy::expect_used)]
+    let telemetry = sim.take_telemetry().expect("telemetry enabled");
+    (report, telemetry)
+}
+
 fn baseline_cache() -> &'static KeyedOnce<String, SimReport> {
     static CACHE: OnceLock<KeyedOnce<String, SimReport>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -190,12 +206,7 @@ fn baseline_cache() -> &'static KeyedOnce<String, SimReport> {
 /// workers — concurrent callers block on the in-flight run instead of
 /// duplicating it).
 pub fn baseline(workload: &Workload) -> SimReport {
-    let key = format!(
-        "{}:{}:{}",
-        workload.name,
-        warmup_instrs(),
-        measure_instrs()
-    );
+    let key = format!("{}:{}:{}", workload.name, warmup_instrs(), measure_instrs());
     let cell = once_cell_for(baseline_cache(), key);
     cell.get_or_init(|| run(workload, method_config("Baseline")))
         .clone()
@@ -368,7 +379,10 @@ fn run_with_baseline(w: &Workload, method: &str) -> Option<(Workload, SimReport,
                 }),
                 retried: false,
             });
-            eprintln!("warning: dropping workload {}: baseline panicked ({msg})", w.name);
+            eprintln!(
+                "warning: dropping workload {}: baseline panicked ({msg})",
+                w.name
+            );
             return None;
         }
     };
@@ -512,7 +526,10 @@ mod tests {
         });
         assert!(rec.retried);
         assert!(matches!(rec.outcome, RunOutcome::Ok(_)));
-        assert!(take_failures().is_empty(), "a recovered run is not a failure");
+        assert!(
+            take_failures().is_empty(),
+            "a recovered run is not a failure"
+        );
     }
 
     #[test]

@@ -164,12 +164,28 @@ pub struct BenchSweepReport {
     /// Single-run throughput, baseline config (simulated instrs/sec).
     pub single_run_baseline_ips: f64,
     /// Single-run throughput, SN4L+Dis+BTB config (simulated
-    /// instrs/sec).
+    /// instrs/sec). Telemetry is off, as in every other pass — this is
+    /// the number the < 2 % telemetry-off regression budget guards.
     pub single_run_dcfb_ips: f64,
+    /// Single-run throughput, SN4L+Dis+BTB with telemetry enabled
+    /// (simulated instrs/sec).
+    pub single_run_dcfb_telemetry_ips: f64,
+    /// Throughput cost of enabling telemetry:
+    /// `1 - telemetry_ips / dcfb_ips` (negative values are timer noise).
+    pub telemetry_overhead_frac: f64,
+    /// Prefetches issued during the telemetry-enabled run, summed over
+    /// every prefetcher source.
+    pub telemetry_issued_prefetches: u64,
+    /// Accurately-timed prefetches during the telemetry-enabled run.
+    pub telemetry_accurate_prefetches: u64,
 }
 
 /// Schema tag for `BENCH_sweep.json`.
-pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v1";
+///
+/// v2 added the telemetry on/off throughput delta
+/// (`single_run_dcfb_telemetry_ips`, `telemetry_overhead_frac`) and the
+/// timeliness digest of the telemetry-enabled run.
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v2";
 
 fn sweep_config(method: &str, opts: &SweepOptions) -> Result<SimConfig, DcfbError> {
     let mut cfg = runs::try_method_config(method)?;
@@ -208,16 +224,23 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
     }
 
     let t0 = Instant::now();
-    let seq: Vec<SimReport> = pairs.iter().map(|(w, cfg)| runs::run(w, cfg.clone())).collect();
+    let seq: Vec<SimReport> = pairs
+        .iter()
+        .map(|(w, cfg)| runs::run(w, cfg.clone()))
+        .collect();
     let seq_seconds = t0.elapsed().as_secs_f64().max(1e-9);
 
     let t1 = Instant::now();
-    let par: Vec<SimReport> =
-        parallel_map_jobs(pairs.clone(), opts.jobs, |(w, cfg)| runs::run(w, cfg.clone()));
+    let par: Vec<SimReport> = parallel_map_jobs(pairs.clone(), opts.jobs, |(w, cfg)| {
+        runs::run(w, cfg.clone())
+    });
     let par_seconds = t1.elapsed().as_secs_f64().max(1e-9);
 
     let deterministic = seq.len() == par.len()
-        && seq.iter().zip(par.iter()).all(|(a, b)| digest(a) == digest(b));
+        && seq
+            .iter()
+            .zip(par.iter())
+            .all(|(a, b)| digest(a) == digest(b));
 
     let single_run_instrs = opts.warmup + opts.measure;
     let single_ips = |method: &str| -> Result<f64, DcfbError> {
@@ -232,6 +255,27 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
     };
     let single_run_baseline_ips = single_ips("Baseline")?;
     let single_run_dcfb_ips = single_ips("SN4L+Dis+BTB")?;
+
+    // The same run again with telemetry enabled; the delta against
+    // `single_run_dcfb_ips` is the cost of turning the subsystem on.
+    let (single_run_dcfb_telemetry_ips, telemetry_issued, telemetry_accurate) = match ws.first() {
+        None => (0.0, 0, 0),
+        Some(w) => {
+            let cfg = sweep_config("SN4L+Dis+BTB", opts)?;
+            let t = Instant::now();
+            let (_report, telem) = runs::run_profiled(w, cfg);
+            let ips = single_run_instrs as f64 / t.elapsed().as_secs_f64().max(1e-9);
+            let issued: u64 = telem.doc.timeliness.iter().map(|row| row.issued).sum();
+            let accurate: u64 = telem.doc.timeliness.iter().map(|row| row.accurate).sum();
+            (ips, issued, accurate)
+        }
+    };
+    let telemetry_overhead_frac =
+        if single_run_dcfb_ips > 0.0 && single_run_dcfb_telemetry_ips > 0.0 {
+            1.0 - single_run_dcfb_telemetry_ips / single_run_dcfb_ips
+        } else {
+            0.0
+        };
 
     Ok(BenchSweepReport {
         schema: BENCH_SWEEP_SCHEMA.to_owned(),
@@ -251,6 +295,10 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
         single_run_instrs,
         single_run_baseline_ips,
         single_run_dcfb_ips,
+        single_run_dcfb_telemetry_ips,
+        telemetry_overhead_frac,
+        telemetry_issued_prefetches: telemetry_issued,
+        telemetry_accurate_prefetches: telemetry_accurate,
     })
 }
 
@@ -280,13 +328,41 @@ impl BenchSweepReport {
         put("par_seconds", format_f64(self.par_seconds), false);
         put("sweep_speedup", format_f64(self.sweep_speedup), false);
         put("deterministic", self.deterministic.to_string(), false);
-        put("single_run_instrs", self.single_run_instrs.to_string(), false);
+        put(
+            "single_run_instrs",
+            self.single_run_instrs.to_string(),
+            false,
+        );
         put(
             "single_run_baseline_ips",
             format_f64(self.single_run_baseline_ips),
             false,
         );
-        put("single_run_dcfb_ips", format_f64(self.single_run_dcfb_ips), true);
+        put(
+            "single_run_dcfb_ips",
+            format_f64(self.single_run_dcfb_ips),
+            false,
+        );
+        put(
+            "single_run_dcfb_telemetry_ips",
+            format_f64(self.single_run_dcfb_telemetry_ips),
+            false,
+        );
+        put(
+            "telemetry_overhead_frac",
+            format_f64(self.telemetry_overhead_frac),
+            false,
+        );
+        put(
+            "telemetry_issued_prefetches",
+            self.telemetry_issued_prefetches.to_string(),
+            false,
+        );
+        put(
+            "telemetry_accurate_prefetches",
+            self.telemetry_accurate_prefetches.to_string(),
+            true,
+        );
         out.push_str("}\n");
         out
     }
@@ -304,7 +380,9 @@ impl BenchSweepReport {
                 .iter()
                 .find(|(k, _)| k == key)
                 .map(|(_, v)| v)
-                .ok_or_else(|| DcfbError::Config(format!("BENCH_sweep.json: missing field {key:?}")))
+                .ok_or_else(|| {
+                    DcfbError::Config(format!("BENCH_sweep.json: missing field {key:?}"))
+                })
         };
         let u64_field = |key: &str| -> Result<u64, DcfbError> {
             match get(key)? {
@@ -354,6 +432,10 @@ impl BenchSweepReport {
             single_run_instrs: u64_field("single_run_instrs")?,
             single_run_baseline_ips: f64_field("single_run_baseline_ips")?,
             single_run_dcfb_ips: f64_field("single_run_dcfb_ips")?,
+            single_run_dcfb_telemetry_ips: f64_field("single_run_dcfb_telemetry_ips")?,
+            telemetry_overhead_frac: f64_field("telemetry_overhead_frac")?,
+            telemetry_issued_prefetches: u64_field("telemetry_issued_prefetches")?,
+            telemetry_accurate_prefetches: u64_field("telemetry_accurate_prefetches")?,
         })
     }
 
@@ -365,7 +447,11 @@ impl BenchSweepReport {
     ///
     /// [`DcfbError::Config`] describing the first violated invariant.
     pub fn validate(&self) -> Result<(), DcfbError> {
-        let fail = |what: &str| Err(DcfbError::Config(format!("BENCH_sweep.json invalid: {what}")));
+        let fail = |what: &str| {
+            Err(DcfbError::Config(format!(
+                "BENCH_sweep.json invalid: {what}"
+            )))
+        };
         if self.schema != BENCH_SWEEP_SCHEMA {
             return fail(&format!(
                 "schema {:?} != {BENCH_SWEEP_SCHEMA:?}",
@@ -392,7 +478,8 @@ impl BenchSweepReport {
             return fail("pass timings must be positive");
         }
         let ratio = self.seq_seconds / self.par_seconds;
-        if !(self.sweep_speedup > 0.0 && (self.sweep_speedup - ratio).abs() <= 1e-6 * ratio.max(1.0))
+        if !(self.sweep_speedup > 0.0
+            && (self.sweep_speedup - ratio).abs() <= 1e-6 * ratio.max(1.0))
         {
             return fail("sweep_speedup must equal seq_seconds / par_seconds");
         }
@@ -403,8 +490,18 @@ impl BenchSweepReport {
         if self.single_run_instrs == 0
             || !ips_ok(self.single_run_baseline_ips)
             || !ips_ok(self.single_run_dcfb_ips)
+            || !ips_ok(self.single_run_dcfb_telemetry_ips)
         {
             return fail("single-run throughput metrics must be positive");
+        }
+        let expected = 1.0 - self.single_run_dcfb_telemetry_ips / self.single_run_dcfb_ips;
+        if !self.telemetry_overhead_frac.is_finite()
+            || (self.telemetry_overhead_frac - expected).abs() > 1e-6 * expected.abs().max(1.0)
+        {
+            return fail("telemetry_overhead_frac must equal 1 - telemetry_ips / dcfb_ips");
+        }
+        if self.telemetry_accurate_prefetches > self.telemetry_issued_prefetches {
+            return fail("accurate prefetches cannot exceed issued prefetches");
         }
         Ok(())
     }
@@ -474,7 +571,10 @@ struct Scanner<'a> {
 
 impl Scanner<'_> {
     fn err(&self, what: &str) -> DcfbError {
-        DcfbError::Config(format!("malformed bench-sweep JSON at byte {}: {what}", self.pos))
+        DcfbError::Config(format!(
+            "malformed bench-sweep JSON at byte {}: {what}",
+            self.pos
+        ))
     }
 
     fn skip_ws(&mut self) {
@@ -605,6 +705,10 @@ mod tests {
             single_run_instrs: 60_000,
             single_run_baseline_ips: 1.5e6,
             single_run_dcfb_ips: 1.1e6,
+            single_run_dcfb_telemetry_ips: 1.0e6,
+            telemetry_overhead_frac: 1.0 - 1.0e6 / 1.1e6,
+            telemetry_issued_prefetches: 9_000,
+            telemetry_accurate_prefetches: 7_500,
         }
     }
 
@@ -641,6 +745,18 @@ mod tests {
 
         let mut r = sample_report();
         r.single_run_dcfb_ips = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.single_run_dcfb_telemetry_ips = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.telemetry_overhead_frac = 0.5; // inconsistent with the ips pair
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.telemetry_accurate_prefetches = r.telemetry_issued_prefetches + 1;
         assert!(r.validate().is_err());
     }
 

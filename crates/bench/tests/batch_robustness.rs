@@ -64,8 +64,10 @@ fn injected_figure_panic_is_summarized_and_resumable() {
     assert!(stderr.contains("[fig13] regenerated"), "{stderr}");
     assert!(!stdout.contains("## Failure summary"), "{stdout}");
     // The resumed document still contains every figure's table.
-    assert!(stdout.contains("Fig. 16") || stdout.contains("fig16") || stdout.contains("Speedup"),
-        "resumed document looks incomplete: {stdout}");
+    assert!(
+        stdout.contains("Fig. 16") || stdout.contains("fig16") || stdout.contains("Speedup"),
+        "resumed document looks incomplete: {stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

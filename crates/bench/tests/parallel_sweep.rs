@@ -60,10 +60,16 @@ fn crash_isolation_is_jobs_independent() {
     // Identical documents and identical checkpoints: the parallel
     // executor merges in workload order, so nothing about the failure
     // path may depend on the job count.
-    assert_eq!(par.stdout, seq.stdout, "figure document diverged across job counts");
+    assert_eq!(
+        par.stdout, seq.stdout,
+        "figure document diverged across job counts"
+    );
     let par_saved = std::fs::read_to_string(&par_ckpt).unwrap();
     let seq_saved = std::fs::read_to_string(&seq_ckpt).unwrap();
-    assert_eq!(par_saved, seq_saved, "checkpoint diverged across job counts");
+    assert_eq!(
+        par_saved, seq_saved,
+        "checkpoint diverged across job counts"
+    );
     assert!(par_saved.contains("\"fig16\""));
     assert!(!par_saved.contains("\"fig13\""));
 

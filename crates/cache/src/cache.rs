@@ -40,7 +40,10 @@ impl CacheConfig {
             "{size_kib} KiB does not divide into {ways} ways"
         );
         let sets = blocks / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
         CacheConfig { sets, ways }
     }
 

@@ -342,8 +342,7 @@ impl DvLlc {
 
     fn set_has_instruction(&self, set: usize) -> bool {
         let base = set * self.ways;
-        (base..base + self.ways)
-            .any(|i| self.lines[i].valid && self.lines[i].flags.is_instruction)
+        (base..base + self.ways).any(|i| self.lines[i].valid && self.lines[i].flags.is_instruction)
     }
 
     fn activate_bf(&mut self, set: usize) -> Option<Block> {
@@ -558,7 +557,7 @@ mod tests {
     fn eviction_of_instruction_block_by_data_reverts_mode() {
         let mut llc = DvLlc::new(4, 2, 2);
         llc.fill(0, instr_flags()); // set 0, bf mode on; 1 usable way
-        // Fill data into the single usable way, evicting the instr block.
+                                    // Fill data into the single usable way, evicting the instr block.
         let ev = llc.fill(4, data_flags());
         assert_eq!(ev, Some(0));
         assert_eq!(llc.bf_mode_sets(), 0);

@@ -118,7 +118,12 @@ mod tests {
 
     #[test]
     fn from_block_collects_branches_only() {
-        let instrs = vec![other_at(0x100), branch_at(0x104), other_at(0x108), branch_at(0x10c)];
+        let instrs = vec![
+            other_at(0x100),
+            branch_at(0x104),
+            other_at(0x108),
+            branch_at(0x10c),
+        ];
         let (bf, overflow) = BranchFootprint::from_block(&instrs);
         assert_eq!(bf.offsets(), &[0x04, 0x0c]);
         assert_eq!(overflow, 0);

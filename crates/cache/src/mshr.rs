@@ -5,6 +5,7 @@
 //! merging into a prefetch-initiated entry *promotes* it (the paper's
 //! CMAL metric measures exactly these partially-covered misses).
 
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 
 /// Result of [`MshrFile::allocate`].
@@ -28,8 +29,14 @@ struct Entry {
     block: Block,
     issued_at: u64,
     ready_at: u64,
-    is_prefetch: bool,
+    source: PfSource,
     demand_waiting: bool,
+}
+
+impl Entry {
+    fn is_prefetch(&self) -> bool {
+        self.source.is_prefetch()
+    }
 }
 
 /// A fixed-capacity MSHR file.
@@ -51,6 +58,8 @@ pub struct Completion {
     pub ready_at: u64,
     /// Whether the *originating* request was a prefetch.
     pub is_prefetch: bool,
+    /// Who issued the originating request.
+    pub source: PfSource,
     /// Whether a demand access is waiting on this block.
     pub demand_waiting: bool,
 }
@@ -71,21 +80,24 @@ impl MshrFile {
     }
 
     /// Attempts to allocate (or merge into) an entry for `block`
-    /// completing at `ready_at`.
+    /// completing at `ready_at`. The requester identifies itself with
+    /// a [`PfSource`] tag ([`PfSource::Demand`] for demand fetches)
+    /// so completions and telemetry can attribute the fetch.
     pub fn allocate(
         &mut self,
         block: Block,
         now: u64,
         ready_at: u64,
-        is_prefetch: bool,
+        source: PfSource,
     ) -> MshrOutcome {
+        let is_prefetch = source.is_prefetch();
         if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
             if !is_prefetch {
                 e.demand_waiting = true;
             }
             return MshrOutcome::Merged {
                 ready_at: e.ready_at,
-                was_prefetch: e.is_prefetch,
+                was_prefetch: e.is_prefetch(),
             };
         }
         if self.entries.len() == self.capacity {
@@ -95,7 +107,7 @@ impl MshrFile {
             block,
             issued_at: now,
             ready_at,
-            is_prefetch,
+            source,
             demand_waiting: !is_prefetch,
         });
         self.peak = self.peak.max(self.entries.len());
@@ -109,7 +121,10 @@ impl MshrFile {
 
     /// The completion cycle of an outstanding `block`, if any.
     pub fn ready_at(&self, block: Block) -> Option<u64> {
-        self.entries.iter().find(|e| e.block == block).map(|e| e.ready_at)
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.ready_at)
     }
 
     /// Whether the outstanding entry for `block` originated as a
@@ -118,7 +133,15 @@ impl MshrFile {
         self.entries
             .iter()
             .find(|e| e.block == block)
-            .map(|e| e.is_prefetch)
+            .map(Entry::is_prefetch)
+    }
+
+    /// The source tag of the outstanding entry for `block`.
+    pub fn source_of(&self, block: Block) -> Option<PfSource> {
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.source)
     }
 
     /// Removes and returns every entry whose fetch has completed by
@@ -140,7 +163,8 @@ impl MshrFile {
                     block: e.block,
                     issued_at: e.issued_at,
                     ready_at: e.ready_at,
-                    is_prefetch: e.is_prefetch,
+                    is_prefetch: e.is_prefetch(),
+                    source: e.source,
                     demand_waiting: e.demand_waiting,
                 });
                 false
@@ -171,10 +195,13 @@ impl MshrFile {
 mod tests {
     use super::*;
 
+    const D: PfSource = PfSource::Demand;
+    const P: PfSource = PfSource::NextLine;
+
     #[test]
     fn allocate_then_drain() {
         let mut m = MshrFile::new(4);
-        assert_eq!(m.allocate(10, 0, 20, false), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(10, 0, 20, D), MshrOutcome::Allocated);
         assert!(m.contains(10));
         assert_eq!(m.ready_at(10), Some(20));
         assert!(m.drain_ready(19).is_empty());
@@ -188,8 +215,8 @@ mod tests {
     #[test]
     fn secondary_miss_merges() {
         let mut m = MshrFile::new(2);
-        m.allocate(5, 0, 30, true);
-        match m.allocate(5, 3, 99, false) {
+        m.allocate(5, 0, 30, P);
+        match m.allocate(5, 3, 99, D) {
             MshrOutcome::Merged {
                 ready_at,
                 was_prefetch,
@@ -209,20 +236,20 @@ mod tests {
     #[test]
     fn full_file_rejects() {
         let mut m = MshrFile::new(2);
-        m.allocate(1, 0, 10, false);
-        m.allocate(2, 0, 10, false);
-        assert_eq!(m.allocate(3, 0, 10, false), MshrOutcome::Full);
+        m.allocate(1, 0, 10, D);
+        m.allocate(2, 0, 10, D);
+        assert_eq!(m.allocate(3, 0, 10, D), MshrOutcome::Full);
         assert!(m.is_full());
         m.drain_ready(10);
-        assert_eq!(m.allocate(3, 11, 20, false), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(3, 11, 20, D), MshrOutcome::Allocated);
     }
 
     #[test]
     fn drain_orders_by_completion() {
         let mut m = MshrFile::new(4);
-        m.allocate(1, 0, 30, false);
-        m.allocate(2, 0, 10, false);
-        m.allocate(3, 0, 20, false);
+        m.allocate(1, 0, 30, D);
+        m.allocate(2, 0, 10, D);
+        m.allocate(3, 0, 20, D);
         let done = m.drain_ready(100);
         let blocks: Vec<_> = done.iter().map(|c| c.block).collect();
         assert_eq!(blocks, vec![2, 3, 1]);
@@ -231,7 +258,7 @@ mod tests {
     #[test]
     fn prefetch_only_entry_has_no_demand_waiting() {
         let mut m = MshrFile::new(2);
-        m.allocate(9, 0, 5, true);
+        m.allocate(9, 0, 5, P);
         let done = m.drain_ready(5);
         assert!(done[0].is_prefetch);
         assert!(!done[0].demand_waiting);
@@ -240,11 +267,11 @@ mod tests {
     #[test]
     fn peak_occupancy_tracks_high_water() {
         let mut m = MshrFile::new(8);
-        m.allocate(1, 0, 10, false);
-        m.allocate(2, 0, 10, false);
-        m.allocate(3, 0, 10, false);
+        m.allocate(1, 0, 10, D);
+        m.allocate(2, 0, 10, D);
+        m.allocate(3, 0, 10, D);
         m.drain_ready(10);
-        m.allocate(4, 11, 20, false);
+        m.allocate(4, 11, 20, D);
         assert_eq!(m.peak_occupancy(), 3);
         assert_eq!(m.occupancy(), 1);
     }

@@ -7,12 +7,15 @@
 //! are accurate enough to prefetch directly into the cache and need no
 //! buffer — making that contrast measurable is the point of this type.
 
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 
 /// A fully-associative, LRU-replaced buffer of prefetched blocks.
+/// Each entry remembers which prefetcher filled it, so evictions and
+/// hits can be attributed for timeliness classification.
 #[derive(Clone, Debug)]
 pub struct PrefetchBuffer {
-    entries: Vec<(Block, u64)>, // (block, lru stamp)
+    entries: Vec<(Block, u64, PfSource)>, // (block, lru stamp, filler)
     capacity: usize,
     clock: u64,
     hits: u64,
@@ -40,13 +43,13 @@ impl PrefetchBuffer {
         }
     }
 
-    /// Inserts a prefetched block, evicting the LRU entry if full.
-    /// Returns the evicted block, if any. Re-inserting a resident block
-    /// refreshes its LRU position.
-    pub fn insert(&mut self, block: Block) -> Option<Block> {
+    /// Inserts a prefetched block filled by `source`, evicting the
+    /// LRU entry if full. Returns the evicted `(block, filler)`, if
+    /// any. Re-inserting a resident block refreshes its LRU position.
+    pub fn insert(&mut self, block: Block, source: PfSource) -> Option<(Block, PfSource)> {
         self.clock += 1;
         self.inserted += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(b, _)| *b == block) {
+        if let Some(e) = self.entries.iter_mut().find(|(b, _, _)| *b == block) {
             e.1 = self.clock;
             return None;
         }
@@ -56,31 +59,32 @@ impl PrefetchBuffer {
                 .entries
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, (_, stamp, _))| *stamp)
                 .expect("buffer non-empty");
-            evicted = Some(self.entries.swap_remove(idx).0);
+            let (b, _, s) = self.entries.swap_remove(idx);
+            evicted = Some((b, s));
             self.replaced_unused += 1;
         }
-        self.entries.push((block, self.clock));
+        self.entries.push((block, self.clock, source));
         evicted
     }
 
     /// Demand lookup: on a hit the block is *removed* (it moves into the
-    /// cache proper) and `true` is returned.
-    pub fn take(&mut self, block: Block) -> bool {
+    /// cache proper) and its filler is returned.
+    pub fn take(&mut self, block: Block) -> Option<PfSource> {
         self.lookups += 1;
-        if let Some(idx) = self.entries.iter().position(|(b, _)| *b == block) {
-            self.entries.swap_remove(idx);
+        if let Some(idx) = self.entries.iter().position(|(b, _, _)| *b == block) {
+            let (_, _, source) = self.entries.swap_remove(idx);
             self.hits += 1;
-            true
+            Some(source)
         } else {
-            false
+            None
         }
     }
 
     /// Non-destructive residency check.
     pub fn contains(&self, block: Block) -> bool {
-        self.entries.iter().any(|(b, _)| *b == block)
+        self.entries.iter().any(|(b, _, _)| *b == block)
     }
 
     /// Number of resident blocks.
@@ -98,14 +102,16 @@ impl PrefetchBuffer {
 mod tests {
     use super::*;
 
+    const S: PfSource = PfSource::NextLine;
+
     #[test]
     fn insert_take_roundtrip() {
         let mut pb = PrefetchBuffer::new(4);
-        assert!(pb.insert(10).is_none());
+        assert!(pb.insert(10, S).is_none());
         assert!(pb.contains(10));
-        assert!(pb.take(10));
+        assert_eq!(pb.take(10), Some(S));
         assert!(!pb.contains(10));
-        assert!(!pb.take(10));
+        assert!(pb.take(10).is_none());
         let (lookups, hits, inserted, _) = pb.counters();
         assert_eq!((lookups, hits, inserted), (2, 1, 1));
     }
@@ -113,11 +119,11 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut pb = PrefetchBuffer::new(2);
-        pb.insert(1);
-        pb.insert(2);
-        pb.insert(1); // refresh 1; LRU is now 2
-        let evicted = pb.insert(3);
-        assert_eq!(evicted, Some(2));
+        pb.insert(1, S);
+        pb.insert(2, S);
+        pb.insert(1, S); // refresh 1; LRU is now 2
+        let evicted = pb.insert(3, S);
+        assert_eq!(evicted, Some((2, S)));
         assert!(pb.contains(1));
         assert!(pb.contains(3));
     }
@@ -126,7 +132,7 @@ mod tests {
     fn occupancy_bounded() {
         let mut pb = PrefetchBuffer::new(3);
         for b in 0..10 {
-            pb.insert(b);
+            pb.insert(b, S);
             assert!(pb.occupancy() <= 3);
         }
     }
@@ -134,8 +140,8 @@ mod tests {
     #[test]
     fn reinsert_does_not_duplicate() {
         let mut pb = PrefetchBuffer::new(4);
-        pb.insert(5);
-        pb.insert(5);
+        pb.insert(5, S);
+        pb.insert(5, S);
         assert_eq!(pb.occupancy(), 1);
     }
 

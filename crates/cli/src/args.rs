@@ -15,6 +15,11 @@ COMMANDS:
     run                  Run one method on one workload
     compare              Compare several methods on one workload
     analyze              Timing-free trace analyses for one workload
+    profile              Run one method with telemetry on and export
+                         <prefix>.metrics.json (versioned schema),
+                         <prefix>.series.csv (windowed time series) and
+                         <prefix>.trace.json (Chrome trace events);
+                         --out sets the prefix (default \"profile\")
     sweep-btb            Ours-vs-Shotgun as the BTB shrinks (Fig. 18)
     bench-sweep          Time the experiment sweep (sequential vs
                          parallel) and engine throughput; writes
@@ -34,7 +39,7 @@ OPTIONS:
     --seed <N>           Trace seed (default 42)
     --isa <fixed|variable>  Instruction encoding (default fixed)
     --json               Machine-readable output (for `run`)
-    --out <FILE>         Output path for `record`
+    --out <FILE>         Output path for `record` / prefix for `profile`
     --trace <FILE>       Input path for `replay`
     --format <binary|text>  Trace format for `record` (default binary)
     --lenient            For `replay`: salvage the valid prefix of a

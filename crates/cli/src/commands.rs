@@ -116,7 +116,9 @@ pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
         image.code_bytes() / 1024,
         image.code_blocks()
     );
-    println!("  branch sites    : {cond} cond / {uncond} uncond / {indirect} indirect / {rets} ret");
+    println!(
+        "  branch sites    : {cond} cond / {uncond} uncond / {indirect} indirect / {rets} ret"
+    );
 
     let limit = cli.measure;
     let mut walker = Walker::new(Arc::clone(&image), cli.seed);
@@ -129,10 +131,16 @@ pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
     );
     let mut walker = Walker::new(Arc::clone(&image), cli.seed);
     let pat = analysis::pattern_predictability(&mut walker, CacheConfig::l1i(), limit);
-    println!("  4-block pattern : {:.1}% predictable [Fig. 6]", pat * 100.0);
+    println!(
+        "  4-block pattern : {:.1}% predictable [Fig. 6]",
+        pat * 100.0
+    );
     let mut walker = Walker::new(Arc::clone(&image), cli.seed);
     let stab = analysis::discontinuity_stability(&mut walker, limit);
-    println!("  discontinuities : {:.1}% same-branch [Fig. 7]", stab * 100.0);
+    println!(
+        "  discontinuities : {:.1}% same-branch [Fig. 7]",
+        stab * 100.0
+    );
     for per_bf in [2usize, 4] {
         let unc = analysis::branch_footprint_coverage(&image, per_bf);
         println!(
@@ -140,6 +148,59 @@ pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
             unc * 100.0
         );
     }
+    Ok(())
+}
+
+/// `dcfb profile` — one telemetry-instrumented run, exported three
+/// ways: a versioned-schema JSON metrics document, a CSV time series,
+/// and Chrome trace-event JSON (load in `chrome://tracing` / Perfetto).
+pub fn profile(cli: &Cli) -> Result<(), DcfbError> {
+    let w = cli.require_workload()?;
+    let cfg = config_for(cli, &cli.method)?;
+    let (r, telem) = dcfb_sim::run_config_profiled(&w, cfg, cli.seed);
+    telem
+        .doc
+        .validate()
+        .map_err(|e| DcfbError::Config(format!("telemetry export failed validation: {e}")))?;
+
+    let prefix = cli.out.as_deref().unwrap_or("profile");
+    let metrics_path = format!("{prefix}.metrics.json");
+    let series_path = format!("{prefix}.series.csv");
+    let trace_path = format!("{prefix}.trace.json");
+    std::fs::write(&metrics_path, telem.doc.to_json())
+        .map_err(|e| DcfbError::io(&metrics_path, &e))?;
+    std::fs::write(&series_path, telem.doc.to_csv())
+        .map_err(|e| DcfbError::io(&series_path, &e))?;
+    std::fs::write(&trace_path, telem.chrome_trace())
+        .map_err(|e| DcfbError::io(&trace_path, &e))?;
+
+    println!(
+        "workload : {} | method: {} | IPC {:.3}",
+        r.workload,
+        r.method,
+        r.ipc()
+    );
+    println!();
+    println!(
+        "{:16} {:>9} {:>9} {:>7} {:>9} {:>9}",
+        "prefetcher", "issued", "accurate", "late", "evicted", "useless"
+    );
+    for t in &telem.doc.timeliness {
+        println!(
+            "{:16} {:>9} {:>9} {:>7} {:>9} {:>9}",
+            t.source, t.issued, t.accurate, t.late, t.early_evicted, t.useless
+        );
+    }
+    if telem.doc.timeliness.is_empty() {
+        println!("(no prefetches issued)");
+    }
+    println!();
+    println!(
+        "series   : {} windows of ~{} cycles",
+        telem.doc.series.len(),
+        telem.doc.window_cycles
+    );
+    println!("wrote {metrics_path}, {series_path}, {trace_path}");
     Ok(())
 }
 
@@ -205,6 +266,13 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         "single-run throughput: Baseline {:.0} instrs/s, SN4L+Dis+BTB {:.0} instrs/s",
         report.single_run_baseline_ips, report.single_run_dcfb_ips
     );
+    println!(
+        "telemetry on: {:.0} instrs/s ({:+.2}% vs off), {} prefetches issued, {} accurate",
+        report.single_run_dcfb_telemetry_ips,
+        -report.telemetry_overhead_frac * 100.0,
+        report.telemetry_issued_prefetches,
+        report.telemetry_accurate_prefetches
+    );
     println!("wrote {out}");
     Ok(())
 }
@@ -215,15 +283,29 @@ fn print_report(r: &SimReport, base: &SimReport) {
     println!();
     println!("cycles            : {}", r.cycles);
     println!("instructions      : {}", r.instrs);
-    println!("IPC               : {:.3} (baseline {:.3})", r.ipc(), base.ipc());
+    println!(
+        "IPC               : {:.3} (baseline {:.3})",
+        r.ipc(),
+        base.ipc()
+    );
     println!("speedup           : {:.3}x", r.speedup_over(base));
-    println!("L1i MPKI          : {:.2} (baseline {:.2})", r.l1i_mpki(), base.l1i_mpki());
-    println!("miss coverage     : {:.1}%", r.miss_coverage_over(base) * 100.0);
+    println!(
+        "L1i MPKI          : {:.2} (baseline {:.2})",
+        r.l1i_mpki(),
+        base.l1i_mpki()
+    );
+    println!(
+        "miss coverage     : {:.1}%",
+        r.miss_coverage_over(base) * 100.0
+    );
     println!("seq/disc misses   : {} / {}", r.seq_misses, r.disc_misses);
     println!("FSCR              : {:.1}%", r.fscr_over(base) * 100.0);
     println!("CMAL              : {:.1}%", r.cmal() * 100.0);
     println!("cache lookups     : {:.2}x baseline", r.lookups_over(base));
-    println!("external bandwidth: {:.2}x baseline", r.bandwidth_over(base));
+    println!(
+        "external bandwidth: {:.2}x baseline",
+        r.bandwidth_over(base)
+    );
     println!("branch accuracy   : {:.2}%", r.branch_accuracy * 100.0);
     println!(
         "stalls (cycles)   : l1i {} / btb {} / redirect {} / empty-FTQ {}",
@@ -251,6 +333,10 @@ fn report_json(r: &SimReport, base: Option<&SimReport>) -> JsonObject {
         .float("l1i_mpki", r.l1i_mpki())
         .int("seq_misses", r.seq_misses)
         .int("disc_misses", r.disc_misses)
+        .int("uncovered_misses", r.uncovered_misses)
+        .int("late_prefetches", r.late_prefetches)
+        .int("dropped_prefetches", r.dropped_prefetches)
+        .int("buffer_hits", r.buffer_hits)
         .float("cmal", r.cmal())
         .int("stall_l1i", r.stall_l1i)
         .int("stall_btb", r.stall_btb)

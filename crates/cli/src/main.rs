@@ -5,6 +5,7 @@
 //! dcfb run      --workload "OLTP (DB A)" --method SN4L+Dis+BTB [options]
 //! dcfb compare  --workload "Web (Apache)" [--methods a,b,c] [options]
 //! dcfb analyze  --workload "Media Streaming" [options]
+//! dcfb profile  --workload "OLTP (DB A)" --method Shotgun --out prof [options]
 //! dcfb sweep-btb --workload "OLTP (DB A)" [options]
 //! dcfb bench-sweep [--out BENCH_sweep.json]
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
@@ -43,6 +44,7 @@ fn main() {
         "run" => commands::run(&cli),
         "compare" => commands::compare(&cli),
         "analyze" => commands::analyze(&cli),
+        "profile" => commands::profile(&cli),
         "sweep-btb" => commands::sweep_btb(&cli),
         "bench-sweep" => commands::bench_sweep(&cli),
         "record" => commands::record(&cli),

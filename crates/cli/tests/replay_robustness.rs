@@ -138,8 +138,5 @@ fn usage_and_bad_input_exit_codes() {
         &dcfb(&["run", "--workload", WORKLOAD, "--method", "nope"]),
         3,
     );
-    assert_one_line_error(
-        &dcfb(&["run", "--workload", WORKLOAD, "--warmup", "0"]),
-        3,
-    );
+    assert_one_line_error(&dcfb(&["run", "--workload", WORKLOAD, "--warmup", "0"]), 3);
 }

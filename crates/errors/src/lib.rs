@@ -355,6 +355,9 @@ mod tests {
         let payload = std::panic::catch_unwind(|| panic!("boom {}", 1)).unwrap_err();
         assert_eq!(panic_message(payload.as_ref()), "boom 1");
         let payload = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
-        assert_eq!(panic_message(payload.as_ref()), "panic with non-string payload");
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "panic with non-string payload"
+        );
     }
 }

@@ -262,7 +262,10 @@ mod tests {
     }
 
     fn small() -> Btb {
-        Btb::new(BtbConfig { entries: 8, ways: 2 }) // 4 sets
+        Btb::new(BtbConfig {
+            entries: 8,
+            ways: 2,
+        }) // 4 sets
     }
 
     #[test]

@@ -488,8 +488,8 @@ mod tests {
         b.insert_u(0x40, 0x4c, 0x902, BranchClass::Call); // evicts 0x0 (LRU)
         assert!(b.lookup_u(0x0).is_none());
         b.insert_u(0x0, 0xc, 0x900, BranchClass::Call); // prefill-style reinsert
-        // Footprint must be unlearned again — BTB prefilling cannot
-        // restore footprints (the §III pathology).
+                                                        // Footprint must be unlearned again — BTB prefilling cannot
+                                                        // restore footprints (the §III pathology).
         assert_eq!(b.lookup_u(0x0).unwrap().call_footprint, 0);
     }
 

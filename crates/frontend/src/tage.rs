@@ -379,7 +379,9 @@ mod tests {
         let mut correct = 0;
         let n = 20_000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if t.predict(0x5000) == taken {
                 correct += 1;

@@ -12,6 +12,7 @@
 
 use crate::context::RunaheadContext;
 use dcfb_frontend::{BranchClass, BtbEntry, Ftq, FtqEntry};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::{block_of, Addr, Block, Instr, InstrKind};
 
 /// One basic-block BTB entry.
@@ -281,7 +282,7 @@ impl Boomerang {
                     // Retry next cycle (entry may now be present).
                 } else {
                     if !ctx.l1i_lookup(block) {
-                        ctx.issue_prefetch(block, 0);
+                        ctx.issue_prefetch(block, PfSource::Boomerang, 0);
                         self.stats.prefetches += 1;
                     }
                     self.stall = Some(block);
@@ -330,7 +331,7 @@ impl Boomerang {
             // Probe/prefetch every block the region touches.
             for block in region.blocks() {
                 if !ctx.l1i_lookup(block) {
-                    ctx.issue_prefetch(block, 0);
+                    ctx.issue_prefetch(block, PfSource::Boomerang, 0);
                     self.stats.prefetches += 1;
                 }
             }
@@ -389,7 +390,7 @@ impl Boomerang {
             self.scan_len += 1;
             let next = block + 1;
             if !ctx.block_present(next) && !ctx.l1i_lookup(next) {
-                ctx.issue_prefetch(next, 0);
+                ctx.issue_prefetch(next, PfSource::Boomerang, 0);
                 self.stats.prefetches += 1;
             }
             self.stall = Some(next);

@@ -64,10 +64,12 @@ impl BtbPrefetchBuffer {
     }
 
     /// Stores the branches of `block`, replacing the set's LRU entry.
-    /// Empty branch sets are ignored.
-    pub fn fill(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
+    /// Empty branch sets are ignored (returns `None`). Returns the
+    /// block whose entry was displaced, if any — telemetry uses it to
+    /// spot early-evicted BTB prefetches.
+    pub fn fill(&mut self, block: Block, branches: Arc<[BtbEntry]>) -> Option<Block> {
         if branches.is_empty() {
-            return;
+            return None;
         }
         self.clock += 1;
         self.fills += 1;
@@ -78,7 +80,7 @@ impl BtbPrefetchBuffer {
                 if e.block == block {
                     e.branches = branches;
                     e.stamp = self.clock;
-                    return;
+                    return None;
                 }
             }
         }
@@ -89,11 +91,13 @@ impl BtbPrefetchBuffer {
                     .min_by_key(|&i| self.slots[i].as_ref().map(|e| e.stamp).unwrap_or(0))
                     .expect("non-empty set")
             });
+        let displaced = self.slots[victim].as_ref().map(|e| e.block);
         self.slots[victim] = Some(BufEntry {
             block,
             stamp: self.clock,
             branches,
         });
+        displaced
     }
 
     /// Looks for the branch at `pc`; on a hit, removes and returns the
@@ -184,7 +188,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut b = BtbPrefetchBuffer::new(4, 2); // 2 sets
-        // Blocks 0, 2, 4 all map to set 0.
+                                                  // Blocks 0, 2, 4 all map to set 0.
         b.fill(0, vec![entry(0, 1)].into());
         b.fill(2, vec![entry(2 * 64, 1)].into());
         // Touch block 0's entry via refill to make block 2 LRU.

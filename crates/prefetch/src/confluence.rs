@@ -14,6 +14,7 @@
 //! prefetch engine and its ~200 KB metadata accounting.
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 use fxhash::FxHashMap;
 
@@ -133,7 +134,7 @@ impl Confluence {
             if !ctx.l1i_lookup(block) {
                 // Temporal metadata lives in the LLC: charge the two-step
                 // LLC pointer-chase with a modest extra delay.
-                ctx.issue_prefetch(block, 4);
+                ctx.issue_prefetch(block, PfSource::Confluence, 4);
                 self.issued += 1;
                 issued += 1;
                 self.credits -= 1;
@@ -166,7 +167,11 @@ impl InstrPrefetcher for Confluence {
         // Locate the previous occurrence BEFORE recording this one, then
         // record the access stream (PIF/SHIFT record accesses, not
         // misses).
-        let prev_pos = if hit { None } else { self.index.get(&block).copied() };
+        let prev_pos = if hit {
+            None
+        } else {
+            self.index.get(&block).copied()
+        };
         self.record(block);
         if !hit {
             // Locate the stream at the missed block and start replaying

@@ -6,6 +6,7 @@
 //! machine over events — easy to unit-test against [`MockContext`].
 
 use dcfb_frontend::BtbEntry;
+use dcfb_telemetry::PfSource;
 use dcfb_trace::{Addr, Block, Instr};
 use std::sync::Arc;
 
@@ -20,9 +21,10 @@ pub trait PrefetchContext {
     fn l1i_lookup(&mut self, block: Block) -> bool;
 
     /// Issues a prefetch for `block` into the memory hierarchy.
-    /// `extra_delay` models a longer issue path (the Dis prefetcher's
-    /// DisTable-lookup + pre-decode pipeline, §VII-D).
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64);
+    /// `source` identifies the issuing component for telemetry
+    /// attribution; `extra_delay` models a longer issue path (the Dis
+    /// prefetcher's DisTable-lookup + pre-decode pipeline, §VII-D).
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64);
 
     /// Pre-decodes `block`, returning every branch found. In hardware
     /// this requires the block's bytes (resident or just arrived); the
@@ -115,6 +117,14 @@ pub trait InstrPrefetcher {
     fn tick(&mut self, ctx: &mut dyn PrefetchContext) {
         let _ = ctx;
     }
+
+    /// `(lookups, hits)` of the prefetcher's record-lookup unit, if it
+    /// has one. Telemetry samples this each window to build the RLU
+    /// hit-rate series; prefetchers without an RLU keep the default
+    /// `None`.
+    fn rlu_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// The machine surface a *BTB-directed* engine (Boomerang, Shotgun)
@@ -136,8 +146,8 @@ pub trait RunaheadContext {
     /// Probes the L1i/MSHRs for `block` (counts a cache lookup).
     fn l1i_lookup(&mut self, block: Block) -> bool;
 
-    /// Issues a prefetch for `block`.
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64);
+    /// Issues a prefetch for `block`, tagged with its `source`.
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64);
 
     /// Whether `block`'s contents are available for pre-decoding
     /// (resident in the L1i — in-flight blocks are not yet decodable).
@@ -157,6 +167,8 @@ pub struct MockContext {
     pub resident: std::collections::HashSet<Block>,
     /// Prefetches issued: `(block, extra_delay)` in order.
     pub issued: Vec<(Block, u64)>,
+    /// Source tags of the issued prefetches, in the same order.
+    pub issued_sources: Vec<PfSource>,
     /// Lookups performed, in order.
     pub lookups: Vec<Block>,
     /// Pre-decode results by block.
@@ -194,8 +206,9 @@ impl RunaheadContext for MockContext {
         self.resident.contains(&block)
     }
 
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
         self.issued.push((block, extra_delay));
+        self.issued_sources.push(source);
         self.resident.insert(block);
     }
 
@@ -227,8 +240,9 @@ impl PrefetchContext for MockContext {
         self.resident.contains(&block)
     }
 
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
         self.issued.push((block, extra_delay));
+        self.issued_sources.push(source);
         self.resident.insert(block); // arrives eventually; tests treat as in-flight
     }
 
@@ -279,8 +293,9 @@ mod tests {
         let ctx: &mut dyn PrefetchContext = &mut m;
         assert!(ctx.l1i_lookup(5));
         assert!(!ctx.l1i_lookup(6));
-        ctx.issue_prefetch(6, 0);
+        ctx.issue_prefetch(6, PfSource::NextLine, 0);
         assert_eq!(m.issued, vec![(6, 0)]);
+        assert_eq!(m.issued_sources, vec![PfSource::NextLine]);
         assert_eq!(m.lookups, vec![5, 6]);
     }
 
@@ -295,7 +310,7 @@ mod tests {
         assert_eq!(ctx.ras_pop(), Some(0x100));
         assert_eq!(ctx.ras_pop(), None);
         assert!(!ctx.block_present(3));
-        ctx.issue_prefetch(3, 0);
+        ctx.issue_prefetch(3, PfSource::Shotgun, 0);
         assert!(ctx.block_present(3));
     }
 }

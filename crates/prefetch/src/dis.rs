@@ -17,6 +17,7 @@
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
 use crate::tables::{DisTable, TagPolicy};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::{block_of, Block};
 
 /// The discontinuity prefetcher.
@@ -121,7 +122,7 @@ impl Dis {
     pub fn replay(&mut self, ctx: &mut dyn PrefetchContext, block: Block) -> Option<Block> {
         let target_block = self.peek_target(ctx, block)?;
         if !ctx.l1i_lookup(target_block) {
-            ctx.issue_prefetch(target_block, self.issue_delay);
+            ctx.issue_prefetch(target_block, PfSource::Dis, self.issue_delay);
             self.issued += 1;
         }
         Some(target_block)

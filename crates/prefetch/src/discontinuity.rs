@@ -8,6 +8,7 @@
 //! one discontinuity (§I, shortcomings list).
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 
 #[derive(Clone, Copy, Debug)]
@@ -105,14 +106,14 @@ impl InstrPrefetcher for DiscontinuityPrefetcher {
         let e = self.table[i];
         if e.valid && e.successor != block {
             if !ctx.l1i_lookup(e.successor) {
-                ctx.issue_prefetch(e.successor, 0);
+                ctx.issue_prefetch(e.successor, PfSource::Discontinuity, 0);
                 self.issued += 1;
             }
             // Cover the successor's sequential neighbour too (the
             // standard pairing with an NL prefetcher).
             let seq = e.successor + 1;
             if !ctx.l1i_lookup(seq) {
-                ctx.issue_prefetch(seq, 0);
+                ctx.issue_prefetch(seq, PfSource::Discontinuity, 0);
                 self.issued += 1;
             }
         }

@@ -1,6 +1,7 @@
 //! Next-line / next-X-line sequential prefetchers (the §IV baselines).
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 
 /// An NXL prefetcher: on every demand access to a block, prefetch the
@@ -60,7 +61,7 @@ impl InstrPrefetcher for NextLine {
         for d in 1..=u64::from(self.depth) {
             let cand = block + d;
             if !ctx.l1i_lookup(cand) {
-                ctx.issue_prefetch(cand, 0);
+                ctx.issue_prefetch(cand, PfSource::NextLine, 0);
                 self.issued += 1;
             }
         }

@@ -22,6 +22,7 @@
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
 use crate::dis::Dis;
 use crate::tables::{DisTable, Rlu, SeqTable, TagPolicy};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 use std::collections::VecDeque;
 
@@ -212,7 +213,15 @@ impl Sn4lDisBtb {
                     Source::Seq => 0,
                     Source::Dis => self.cfg.dis_issue_delay,
                 };
-                ctx.issue_prefetch(block, delay);
+                // Telemetry attribution: first-level candidates belong
+                // to the triggering engine; deeper chain walks are the
+                // proactive RLU's own work (§V-B).
+                let tag = match (src, depth) {
+                    (Source::Seq, 0..=1) => PfSource::Sn4l,
+                    (Source::Dis, 0..=1) => PfSource::Dis,
+                    _ => PfSource::ProactiveChain,
+                };
+                ctx.issue_prefetch(block, tag, delay);
                 match src {
                     Source::Seq => self.stats.seq_issued += 1,
                     Source::Dis => self.stats.dis_issued += 1,
@@ -275,10 +284,13 @@ impl InstrPrefetcher for Sn4lDisBtb {
         // 4-bit local status + 1-bit prefetch flag per L1i line.
         let line_meta = 512 * 5;
         // Queues (16 x ~34-bit block + 3-bit depth) x 3 + 8-entry RLU.
-        let queues = 3 * (self.cfg.queue_capacity as u64 * 37)
-            + self.cfg.rlu_entries as u64 * 34;
+        let queues = 3 * (self.cfg.queue_capacity as u64 * 37) + self.cfg.rlu_entries as u64 * 34;
         // BTB prefetch buffer (≈1 KB) when enabled.
-        let buffer = if self.cfg.btb_prefetch { 32 * (34 + 4 * 60) } else { 0 };
+        let buffer = if self.cfg.btb_prefetch {
+            32 * (34 + 4 * 60)
+        } else {
+            0
+        };
         tables + line_meta + queues + buffer
     }
 
@@ -314,6 +326,11 @@ impl InstrPrefetcher for Sn4lDisBtb {
         if useless_prefetch {
             self.seq.reset(block);
         }
+    }
+
+    fn rlu_counters(&self) -> Option<(u64, u64)> {
+        let (hits, misses) = self.rlu.counters();
+        Some((hits + misses, hits))
     }
 
     fn tick(&mut self, ctx: &mut dyn PrefetchContext) {
@@ -425,10 +442,7 @@ mod tests {
         let blocks: Vec<Block> = ctx.issued.iter().map(|&(b, _)| b).collect();
         // Depth 4 allows following only a handful of discontinuities.
         assert!(blocks.contains(&110));
-        assert!(
-            !blocks.contains(&190),
-            "chain went too deep: {blocks:?}"
-        );
+        assert!(!blocks.contains(&190), "chain went too deep: {blocks:?}");
         assert!(p.stats().depth_terminations > 0);
     }
 
@@ -449,7 +463,10 @@ mod tests {
         assert!(
             ctx.btb_buffer_fills.iter().any(|(b, _)| *b == 101),
             "block 101 not pre-decoded: {:?}",
-            ctx.btb_buffer_fills.iter().map(|(b, _)| b).collect::<Vec<_>>()
+            ctx.btb_buffer_fills
+                .iter()
+                .map(|(b, _)| b)
+                .collect::<Vec<_>>()
         );
         assert!(p.stats().predecoded > 0);
     }
@@ -524,12 +541,7 @@ mod tests {
         // DisTable: offset 9 recorded for block A.
         p.dis.record_from_recent(&{
             let mut r = RecentInstrs::default();
-            r.push(Instr::branch(
-                a * 64 + 9 * 4,
-                4,
-                InstrKind::Jump,
-                c * 64,
-            ));
+            r.push(Instr::branch(a * 64 + 9 * 4, 4, InstrKind::Jump, c * 64));
             r
         });
         // The pre-decoder sees a branch in slot 9 of block A -> C.
@@ -551,7 +563,10 @@ mod tests {
         drain(&mut p, &mut ctx, 12);
 
         let prefetched: Vec<Block> = ctx.issued.iter().map(|&(b, _)| b).collect();
-        assert!(prefetched.contains(&(a + 4)), "A+4 prefetched: {prefetched:?}");
+        assert!(
+            prefetched.contains(&(a + 4)),
+            "A+4 prefetched: {prefetched:?}"
+        );
         assert!(prefetched.contains(&c), "C prefetched: {prefetched:?}");
         assert!(
             !prefetched.contains(&(a + 1)) && !prefetched.contains(&(a + 3)),

@@ -13,6 +13,7 @@
 use crate::context::RunaheadContext;
 use dcfb_frontend::shotgun_btb::footprint_blocks;
 use dcfb_frontend::{BranchClass, Ftq, FtqEntry, ShotgunBtb, ShotgunBtbConfig, ShotgunBtbStats};
+use dcfb_telemetry::PfSource;
 use dcfb_trace::{block_of, Addr, Block, Instr, InstrKind};
 
 /// Shotgun engine statistics (the split-BTB statistics, including the
@@ -326,7 +327,7 @@ impl Shotgun {
             if e.call_footprint != 0 {
                 for b in footprint_blocks(block_of(e.target), e.call_footprint) {
                     if !ctx.l1i_lookup(b) {
-                        ctx.issue_prefetch(b, 0);
+                        ctx.issue_prefetch(b, PfSource::Shotgun, 0);
                         self.stats.footprint_prefetches += 1;
                     }
                     self.queue_prefill(b);
@@ -335,7 +336,7 @@ impl Shotgun {
             if e.ret_footprint != 0 {
                 for b in footprint_blocks(block_of(fallthrough), e.ret_footprint) {
                     if !ctx.l1i_lookup(b) {
-                        ctx.issue_prefetch(b, 0);
+                        ctx.issue_prefetch(b, PfSource::Shotgun, 0);
                         self.stats.footprint_prefetches += 1;
                     }
                     self.queue_prefill(b);
@@ -373,7 +374,7 @@ impl Shotgun {
             self.fill_or_scan(ctx, block);
         } else {
             if !ctx.l1i_lookup(block) {
-                ctx.issue_prefetch(block, 0);
+                ctx.issue_prefetch(block, PfSource::Shotgun, 0);
                 self.stats.prefetches += 1;
             }
             self.stall = Some(block);
@@ -393,7 +394,7 @@ impl Shotgun {
             self.scan_len += 1;
             let next = block + 1;
             if !ctx.block_present(next) && !ctx.l1i_lookup(next) {
-                ctx.issue_prefetch(next, 0);
+                ctx.issue_prefetch(next, PfSource::Shotgun, 0);
                 self.stats.prefetches += 1;
             }
             self.stall = Some(next);
@@ -413,7 +414,7 @@ impl Shotgun {
         };
         for block in region.blocks() {
             if !ctx.l1i_lookup(block) {
-                ctx.issue_prefetch(block, 0);
+                ctx.issue_prefetch(block, PfSource::Shotgun, 0);
                 self.stats.prefetches += 1;
                 self.queue_prefill(block);
             }

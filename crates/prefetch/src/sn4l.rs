@@ -12,6 +12,7 @@
 
 use crate::context::{InstrPrefetcher, PrefetchContext, RecentInstrs};
 use crate::tables::SeqTable;
+use dcfb_telemetry::PfSource;
 use dcfb_trace::Block;
 
 /// The selective next-four-line sequential prefetcher.
@@ -85,7 +86,7 @@ impl InstrPrefetcher for Sn4l {
                 continue;
             }
             if !ctx.l1i_lookup(cand) {
-                ctx.issue_prefetch(cand, 0);
+                ctx.issue_prefetch(cand, PfSource::Sn4l, 0);
                 self.issued += 1;
             }
         }
@@ -125,7 +126,7 @@ mod tests {
         let mut p = small();
         let mut ctx = MockContext::default();
         demand(&mut p, &mut ctx, 100, false); // prefetches 101..=104
-        // Block 102 evicted without ever being demanded.
+                                              // Block 102 evicted without ever being demanded.
         p.on_evict(&mut ctx, 102, true);
         ctx.issued.clear();
         ctx.resident.clear();

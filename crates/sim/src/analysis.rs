@@ -58,11 +58,7 @@ pub fn sequential_miss_fraction<S: InstrStream>(
 /// the four subsequent blocks are accessed; compare each generation's
 /// pattern with the previous one. Returns the fraction of pattern bits
 /// that repeat.
-pub fn pattern_predictability<S: InstrStream>(
-    stream: &mut S,
-    l1i: CacheConfig,
-    limit: u64,
-) -> f64 {
+pub fn pattern_predictability<S: InstrStream>(stream: &mut S, l1i: CacheConfig, limit: u64) -> f64 {
     let mut cache = SetAssocCache::new(l1i);
     // Live pattern per resident block, last completed pattern per block.
     let mut live: FxHashMap<Block, u8> = FxHashMap::default();
@@ -173,7 +169,10 @@ pub fn bf_per_set_coverage<S: InstrStream>(
     bf_slots: usize,
     limit: u64,
 ) -> f64 {
-    assert!(llc_sets.is_power_of_two(), "LLC sets must be a power of two");
+    assert!(
+        llc_sets.is_power_of_two(),
+        "LLC sets must be a power of two"
+    );
     // LRU-ish per-set tracking of instruction blocks with a bounded
     // window per set (models which BFs compete for slots).
     let mut sets: FxHashMap<usize, Vec<Block>> = FxHashMap::default();
@@ -220,7 +219,7 @@ pub fn bf_per_set_coverage<S: InstrStream>(
 mod tests {
     use super::*;
     use dcfb_trace::IsaMode;
-    use dcfb_workloads::{WorkloadParams, Walker};
+    use dcfb_workloads::{Walker, WorkloadParams};
     use std::sync::Arc;
 
     fn image() -> Arc<ProgramImage> {
@@ -281,10 +280,123 @@ mod tests {
         for slots in [1usize, 2, 3, 4] {
             let mut w = Walker::new(Arc::clone(&img), 4);
             let uncovered = bf_per_set_coverage(&mut w, 2048, slots, 400_000);
-            assert!(uncovered <= last + 1e-9, "slots {slots}: {uncovered} > {last}");
+            assert!(
+                uncovered <= last + 1e-9,
+                "slots {slots}: {uncovered} > {last}"
+            );
             last = uncovered;
         }
         assert!(last < 0.2, "4 BF slots leave {last} uncovered");
+    }
+
+    // --- Ground-truth fixtures: tiny hand-built streams where the
+    // --- expected Fig. 2/6/7 fractions are computable by hand.
+
+    use dcfb_trace::{InstrKind, VecTrace, BLOCK_BYTES};
+
+    /// One non-branch instruction at the base of `block`.
+    fn step(block: Block) -> Instr {
+        Instr::other(block * BLOCK_BYTES, 4)
+    }
+
+    #[test]
+    fn seq_miss_ground_truth() {
+        // Cold misses in order: 10 (disc: no predecessor), 11, 12, 13
+        // (seq), a jump to 50 (disc), 51, 52 (seq). A second
+        // instruction inside block 12 and a re-access of the cached
+        // block 11 must not add misses.
+        let mut instrs: Vec<Instr> = [10u64, 11, 12].iter().map(|&b| step(b)).collect();
+        instrs.push(Instr::other(12 * BLOCK_BYTES + 4, 4));
+        instrs.extend([13u64, 50, 51, 52].iter().map(|&b| step(b)));
+        instrs.push(step(11));
+        let mut t = VecTrace::new(instrs.clone());
+        assert_eq!(
+            sequential_miss_fraction(&mut t, CacheConfig::l1i(), 1_000),
+            (5, 2)
+        );
+        // The limit truncates the stream: only blocks 10, 11, 12 run.
+        let mut t = VecTrace::new(instrs);
+        assert_eq!(
+            sequential_miss_fraction(&mut t, CacheConfig::l1i(), 3),
+            (2, 1)
+        );
+    }
+
+    #[test]
+    fn pattern_predictability_is_one_for_a_periodic_loop() {
+        // 20 blocks cycling through a 16-line fully-associative cache:
+        // LRU thrash misses on every access, and the periodic stream
+        // makes every generation of every block identical, so every
+        // compared pattern bit repeats.
+        let instrs: Vec<Instr> = (0..8).flat_map(|_| (0u64..20).map(step)).collect();
+        let mut t = VecTrace::new(instrs);
+        let tiny = CacheConfig { sets: 1, ways: 16 };
+        let p = pattern_predictability(&mut t, tiny, u64::MAX);
+        assert!((p - 1.0).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn pattern_predictability_counts_changed_bits() {
+        // Direct-mapped, 16 sets. Each round touches block 0, then one
+        // of its four successors (alternating +1 / +2), then a fresh
+        // evictor block ≡ 0 (mod 16) that ends block 0's generation.
+        // Consecutive generations therefore differ in exactly 2 of 4
+        // pattern bits; the one-shot evictor blocks never complete a
+        // second generation and contribute nothing.
+        let mut instrs = Vec::new();
+        for round in 0u64..6 {
+            instrs.push(step(0));
+            instrs.push(step(1 + round % 2));
+            instrs.push(step(32 + 16 * round));
+        }
+        let mut t = VecTrace::new(instrs);
+        let dm = CacheConfig { sets: 16, ways: 1 };
+        let p = pattern_predictability(&mut t, dm, u64::MAX);
+        assert!((p - 0.5).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn discontinuity_stability_is_one_for_a_steady_loop() {
+        // One branch per block ever causes the discontinuity, so after
+        // the first sighting every repeat matches. A not-taken
+        // conditional and an intra-block jump must not register.
+        let mut instrs = Vec::new();
+        for _ in 0..5 {
+            instrs.push(Instr::branch(0x40, 4, InstrKind::Jump, 0x140));
+            instrs.push(Instr::other(0x140, 4));
+            instrs.push(Instr::branch(
+                0x144,
+                4,
+                InstrKind::CondBranch { taken: false },
+                0x180,
+            ));
+            instrs.push(Instr::branch(0x148, 4, InstrKind::Jump, 0x160));
+            instrs.push(Instr::other(0x160, 4));
+            instrs.push(Instr::branch(0x164, 4, InstrKind::Jump, 0x40));
+        }
+        let mut t = VecTrace::new(instrs);
+        let s = discontinuity_stability(&mut t, u64::MAX);
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn discontinuity_stability_tracks_the_last_branch_exactly() {
+        // Branches out of block 1 follow the pc pattern A,A,B repeated
+        // three times; consecutive-pair agreement is exactly 3/8. Every
+        // round detours through a fresh block, so the way back never
+        // repeats a (block, branch) pair and contributes nothing.
+        let (a, b) = (0x40u64, 0x48u64);
+        let mut instrs = Vec::new();
+        for (round, &pc) in [a, a, b, a, a, b, a, a, b].iter().enumerate() {
+            let detour = (100 + round as u64) * BLOCK_BYTES;
+            instrs.push(Instr::branch(pc, 4, InstrKind::Jump, detour));
+            instrs.push(Instr::other(detour, 4));
+            instrs.push(Instr::branch(detour + 4, 4, InstrKind::Jump, a));
+        }
+        instrs.push(Instr::other(a, 4));
+        let mut t = VecTrace::new(instrs);
+        let s = discontinuity_stability(&mut t, u64::MAX);
+        assert!((s - 3.0 / 8.0).abs() < 1e-12, "{s}");
     }
 
     #[test]
@@ -295,7 +407,10 @@ mod tests {
             (0, 0)
         );
         let mut empty = dcfb_trace::VecTrace::default();
-        assert_eq!(pattern_predictability(&mut empty, CacheConfig::l1i(), 10), 0.0);
+        assert_eq!(
+            pattern_predictability(&mut empty, CacheConfig::l1i(), 10),
+            0.0
+        );
         let mut empty = dcfb_trace::VecTrace::default();
         assert_eq!(discontinuity_stability(&mut empty, 10), 0.0);
         let mut empty = dcfb_trace::VecTrace::default();

@@ -111,6 +111,11 @@ pub struct SimConfig {
     pub warmup_instrs: u64,
     /// Instructions measured after warmup.
     pub measure_instrs: u64,
+    /// Record detailed telemetry (counters, histograms,
+    /// prefetch-timeliness classification, time series, trace events).
+    /// Off by default: the recorder is then never allocated and each
+    /// instrumentation site costs one never-taken branch.
+    pub telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -133,6 +138,7 @@ impl Default for SimConfig {
             prefetcher: PrefetcherKind::None,
             warmup_instrs: 2_000_000,
             measure_instrs: 3_000_000,
+            telemetry: false,
         }
     }
 }
@@ -223,7 +229,10 @@ impl SimConfig {
         nonzero("btb_miss_penalty", self.btb_miss_penalty)?;
         nonzero("ftq_entries", self.ftq_entries as u64)?;
         if self.use_prefetch_buffer {
-            nonzero("prefetch_buffer_entries", self.prefetch_buffer_entries as u64)?;
+            nonzero(
+                "prefetch_buffer_entries",
+                self.prefetch_buffer_entries as u64,
+            )?;
         }
         nonzero("warmup_instrs", self.warmup_instrs)?;
         nonzero("measure_instrs", self.measure_instrs)?;

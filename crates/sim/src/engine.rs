@@ -28,9 +28,13 @@ use dcfb_frontend::{
     BranchClass, Btb, BtbEntry, Ftq, Predecoder, ReturnAddressStack, Tage, TageConfig,
 };
 use dcfb_prefetch::{
-    Boomerang, BtbPrefetchBuffer, Confluence, Dis, DiscontinuityPrefetcher, DisTable,
+    Boomerang, BtbPrefetchBuffer, Confluence, Dis, DisTable, DiscontinuityPrefetcher,
     InstrPrefetcher, NextLine, PrefetchContext, RecentInstrs, RunaheadContext, SeqTable, Shotgun,
     Sn4l, Sn4lDisBtb,
+};
+use dcfb_telemetry::{
+    Ctr, CycleSample, Hist, PfSource, RunMeta, RunTelemetry, StallKind as TelemetryStall,
+    TelemetryConfig, TelemetryReport,
 };
 use dcfb_trace::{block_of, Addr, Block, CodeMemory, Instr, InstrKind, InstrStream};
 use dcfb_uncore::Uncore;
@@ -90,6 +94,11 @@ struct Machine {
     stats: RawStats,
     tage_predictions: u64,
     tage_correct: u64,
+    /// The telemetry recorder, present only when
+    /// [`SimConfig::telemetry`] is set. Every instrumentation site
+    /// below guards on this option, so the off-mode cost is one
+    /// never-taken branch per site.
+    telem: Option<Box<RunTelemetry>>,
 }
 
 impl Machine {
@@ -122,6 +131,9 @@ impl Machine {
             stats: RawStats::default(),
             tage_predictions: 0,
             tage_correct: 0,
+            telem: cfg
+                .telemetry
+                .then(|| Box::new(RunTelemetry::new(TelemetryConfig::default()))),
         }
     }
 
@@ -143,21 +155,37 @@ impl Machine {
         } else {
             let code = Arc::clone(&self.code);
             let bf = self.uncore.dvllc_mut().and_then(|dv| dv.bf_lookup(block));
-            self.predecoder.decode(&code, block, bf.as_ref()).branches.into()
+            self.predecoder
+                .decode(&code, block, bf.as_ref())
+                .branches
+                .into()
         }
     }
 
     /// Sends a fetch/prefetch below the L1i, allocating an MSHR.
     /// Returns the completion cycle, or `None` if the MSHRs are full.
-    fn request_below(&mut self, block: Block, is_prefetch: bool, extra: u64) -> Option<u64> {
+    fn request_below(&mut self, block: Block, source: PfSource, extra: u64) -> Option<u64> {
+        let is_prefetch = source.is_prefetch();
         if self.mshr.is_full() {
             self.stats.dropped_prefetches += u64::from(is_prefetch);
+            if is_prefetch {
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.pf_dropped();
+                }
+            }
             return None;
         }
         let res = self.uncore.access(self.cycle, block, is_prefetch, true);
         let ready = res.ready_at + extra;
-        match self.mshr.allocate(block, self.cycle, ready, is_prefetch) {
-            MshrOutcome::Allocated => Some(ready),
+        match self.mshr.allocate(block, self.cycle, ready, source) {
+            MshrOutcome::Allocated => {
+                if is_prefetch {
+                    if let Some(t) = self.telem.as_deref_mut() {
+                        t.pf_issued(block, source);
+                    }
+                }
+                Some(ready)
+            }
             MshrOutcome::Merged { ready_at, .. } => Some(ready_at),
             MshrOutcome::Full => None,
         }
@@ -169,13 +197,19 @@ impl Machine {
         let mut done = std::mem::take(&mut self.fill_scratch);
         self.mshr.drain_ready_into(self.cycle, &mut done);
         for &c in &done {
-            let into_buffer =
-                c.is_prefetch && !c.demand_waiting && self.pf_buffer.is_some();
+            let into_buffer = c.is_prefetch && !c.demand_waiting && self.pf_buffer.is_some();
             if into_buffer {
-                self.pf_buffer
+                let displaced = self
+                    .pf_buffer
                     .as_mut()
                     .expect("buffer checked")
-                    .insert(c.block);
+                    .insert(c.block, c.source);
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.pf_fill(c.block, c.ready_at - c.issued_at);
+                    if let Some((evicted, _)) = displaced {
+                        t.pf_evict_unused(evicted);
+                    }
+                }
             } else {
                 let flags = if c.is_prefetch && !c.demand_waiting {
                     LineFlags::prefetched_instruction()
@@ -185,10 +219,20 @@ impl Machine {
                 if c.is_prefetch {
                     self.prefetch_latency
                         .insert(c.block, c.ready_at - c.issued_at);
+                    if !c.demand_waiting {
+                        if let Some(t) = self.telem.as_deref_mut() {
+                            t.pf_fill(c.block, c.ready_at - c.issued_at);
+                        }
+                    }
                 }
                 let evicted = self.l1i.fill(c.block, flags);
                 if let Some(ev) = evicted {
                     self.prefetch_latency.remove(&ev.block);
+                    if ev.flags.prefetched && !ev.flags.demanded {
+                        if let Some(t) = self.telem.as_deref_mut() {
+                            t.pf_evict_unused(ev.block);
+                        }
+                    }
                     if let Some(p) = pf.as_deref_mut() {
                         p.on_evict(self, ev.block, ev.flags.prefetched && !ev.flags.demanded);
                     }
@@ -223,18 +267,27 @@ impl Machine {
             };
         }
         self.stats_note_demand(block);
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.add(Ctr::DemandAccesses, 1);
+        }
         if self.l1i.demand_access(block) {
             let was_pref = self.prefetch_latency.remove(&block).map(|lat| {
                 self.stats.cmal_covered += lat as f64;
                 self.stats.cmal_total += lat as f64;
             });
+            if let Some(t) = self.telem.as_deref_mut() {
+                t.add(Ctr::DemandHits, 1);
+                if was_pref.is_some() {
+                    t.pf_hit(block);
+                }
+            }
             return DemandOutcome::Hit {
                 was_prefetched: was_pref.is_some(),
             };
         }
         // Prefetch buffer (when configured) is checked in parallel.
         if let Some(buf) = self.pf_buffer.as_mut() {
-            if buf.take(block) {
+            if buf.take(block).is_some() {
                 // Move into the cache; a fully covered miss.
                 self.l1i.fill(block, LineFlags::demand_instruction());
                 // Buffer fills' latency is not tracked per block;
@@ -243,19 +296,34 @@ impl Machine {
                 self.stats.cmal_covered += lat;
                 self.stats.cmal_total += lat;
                 self.stats.buffer_hits += 1;
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.add(Ctr::BufferHits, 1);
+                    t.pf_hit(block);
+                }
                 return DemandOutcome::Hit {
                     was_prefetched: true,
                 };
             }
         }
         self.classify_miss(block, false);
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.add(Ctr::DemandMisses, 1);
+            t.pf_demand_miss(block);
+        }
         // In flight already?
         if let Some(ready) = self.mshr.ready_at(block) {
             let is_pref = self.mshr.is_prefetch(block).unwrap_or(false);
             // Merge as a demand.
-            self.mshr.allocate(block, self.cycle, ready, false);
+            self.mshr
+                .allocate(block, self.cycle, ready, PfSource::Demand);
             if is_pref {
                 self.stats.late_prefetches += 1;
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.pf_late(block);
+                }
+            }
+            if let Some(t) = self.telem.as_deref_mut() {
+                t.observe(Hist::MissLatency, ready.saturating_sub(self.cycle));
             }
             return DemandOutcome::Miss {
                 ready_at: ready,
@@ -263,11 +331,19 @@ impl Machine {
             };
         }
         self.stats.uncovered_misses += 1;
-        match self.request_below(block, false, 0) {
-            Some(ready) => DemandOutcome::Miss {
-                ready_at: ready,
-                had_prefetch: false,
-            },
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.add(Ctr::UncoveredMisses, 1);
+        }
+        match self.request_below(block, PfSource::Demand, 0) {
+            Some(ready) => {
+                if let Some(t) = self.telem.as_deref_mut() {
+                    t.observe(Hist::MissLatency, ready.saturating_sub(self.cycle));
+                }
+                DemandOutcome::Miss {
+                    ready_at: ready,
+                    had_prefetch: false,
+                }
+            }
             None => {
                 // MSHRs full for a demand: retry next cycle.
                 DemandOutcome::Retry
@@ -278,10 +354,19 @@ impl Machine {
     fn stats_note_demand(&mut self, _block: Block) {}
 
     fn classify_miss(&mut self, block: Block, _buffer_hit: bool) {
-        match self.prev_demand_block {
-            Some(prev) if block == prev + 1 => self.stats.seq_misses += 1,
-            Some(prev) if block == prev => {}
-            _ => self.stats.disc_misses += 1,
+        let ctr = match self.prev_demand_block {
+            Some(prev) if block == prev + 1 => {
+                self.stats.seq_misses += 1;
+                Ctr::SeqMisses
+            }
+            Some(prev) if block == prev => return,
+            _ => {
+                self.stats.disc_misses += 1;
+                Ctr::DiscMisses
+            }
+        };
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.add(ctr, 1);
         }
     }
 
@@ -324,8 +409,8 @@ impl PrefetchContext for Machine {
             || self.pf_buffer.as_ref().is_some_and(|b| b.contains(block))
     }
 
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
-        self.request_below(block, true, extra_delay);
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
+        self.request_below(block, source, extra_delay);
     }
 
     fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
@@ -347,7 +432,13 @@ impl PrefetchContext for Machine {
     }
 
     fn fill_btb_buffer(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
-        self.btb_buffer.fill(block, branches);
+        if branches.is_empty() {
+            return; // the buffer ignores empty sets; don't count a fill
+        }
+        let displaced = self.btb_buffer.fill(block, branches);
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.btbpf_fill(block, displaced);
+        }
     }
 }
 
@@ -372,8 +463,8 @@ impl RunaheadContext for Machine {
         PrefetchContext::l1i_lookup(self, block)
     }
 
-    fn issue_prefetch(&mut self, block: Block, extra_delay: u64) {
-        PrefetchContext::issue_prefetch(self, block, extra_delay);
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
+        PrefetchContext::issue_prefetch(self, block, source, extra_delay);
     }
 
     fn block_present(&self, block: Block) -> bool {
@@ -546,9 +637,65 @@ impl Simulator {
         }
     }
 
+    /// Builds the per-cycle telemetry sample from current machine and
+    /// frontend state. Only called when telemetry is on.
+    fn cycle_sample(&self) -> CycleSample {
+        let (ftq_occ, rlu) = match &self.frontend {
+            Frontend::Conventional(pf) => (None, pf.as_ref().and_then(|p| p.rlu_counters())),
+            Frontend::Boomerang(_, ftq) | Frontend::Shotgun(_, ftq) => {
+                (Some(ftq.len() as u64), None)
+            }
+        };
+        let m = &self.machine;
+        let btb = m.btb.stats();
+        CycleSample {
+            cycle: m.cycle,
+            instrs: m.stats.instrs,
+            demand_misses: m.l1i.stats().demand_misses,
+            btb_lookups: btb.lookups,
+            btb_hits: btb.hits,
+            rlu_lookups: rlu.map_or(0, |(l, _)| l),
+            rlu_hits: rlu.map_or(0, |(_, h)| h),
+            ftq_occupancy: ftq_occ,
+            mshr_occupancy: m.mshr.occupancy() as u64,
+        }
+    }
+
+    /// Per-cycle telemetry sample; with telemetry off this is a single
+    /// never-taken branch.
+    fn telemetry_tick(&mut self) {
+        if self.machine.telem.is_none() {
+            return;
+        }
+        let s = self.cycle_sample();
+        if let Some(t) = self.machine.telem.as_deref_mut() {
+            t.tick(&s);
+        }
+    }
+
+    /// Detaches the telemetry recorder (if the run was configured with
+    /// [`SimConfig::telemetry`]) and finalizes it into an exportable
+    /// report: metrics document, time series, and trace events. After
+    /// this call the simulator records no further telemetry.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let final_sample = self.cycle_sample();
+        let telem = self.machine.telem.take()?;
+        let r = self.report();
+        let meta = RunMeta {
+            workload: r.workload,
+            method: r.method,
+            cycles: r.cycles,
+            instrs: r.instrs,
+        };
+        Some(telem.finalize(&meta, &final_sample))
+    }
+
     fn reset_measurement(&mut self) {
         self.retire_clock = self.retire_clock.max(self.machine.cycle as f64);
         self.retire_mark = self.retire_clock;
+        if let Some(t) = self.machine.telem.as_deref_mut() {
+            t.reset();
+        }
         self.machine.stats = RawStats::default();
         self.machine.l1i.reset_stats();
         self.machine.uncore.reset_stats();
@@ -619,6 +766,7 @@ impl Simulator {
                 m.tage_correct as f64 / m.tage_predictions as f64
             },
             dropped_prefetches: m.stats.dropped_prefetches,
+            buffer_hits: m.stats.buffer_hits,
         };
         match &self.frontend {
             Frontend::Conventional(Some(p)) => r.storage_bits = p.storage_bits(),
@@ -638,6 +786,7 @@ impl Simulator {
     fn step_conventional<S: InstrStream>(&mut self, stream: &mut S, target: u64) {
         self.machine.cycle += 1;
         self.machine.stats.cycles += 1;
+        self.telemetry_tick();
         if let Frontend::Conventional(pf) = &mut self.frontend {
             self.machine.drain_fills(pf.as_deref_mut());
         }
@@ -653,7 +802,10 @@ impl Simulator {
                 let hit = self.demand_with_hooks(block);
                 match hit {
                     DemandOutcome::Hit { .. } => {}
-                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                    DemandOutcome::Miss {
+                        ready_at,
+                        had_prefetch,
+                    } => {
                         if had_prefetch {
                             self.machine.account_late_prefetch(block, ready_at);
                         }
@@ -721,32 +873,33 @@ impl Simulator {
         if taken && !self.cfg.perfect_btb {
             let hit = self.machine.btb.lookup(i.pc);
             match hit {
-                Some(e) => {
-                    match i.kind {
-                        InstrKind::Return => {
-                            let pred = self.machine.ras.pop();
-                            if pred != Some(i.target) {
-                                mispredicted = true;
-                            }
+                Some(e) => match i.kind {
+                    InstrKind::Return => {
+                        let pred = self.machine.ras.pop();
+                        if pred != Some(i.target) {
+                            mispredicted = true;
                         }
-                        InstrKind::IndirectCall | InstrKind::IndirectJump => {
-                            if e.target != i.target {
-                                mispredicted = true;
-                                self.machine.btb.insert(BtbEntry {
-                                    pc: i.pc,
-                                    target: i.target,
-                                    class: e.class,
-                                });
-                            }
-                        }
-                        _ => {}
                     }
-                }
+                    InstrKind::IndirectCall | InstrKind::IndirectJump => {
+                        if e.target != i.target {
+                            mispredicted = true;
+                            self.machine.btb.insert(BtbEntry {
+                                pc: i.pc,
+                                target: i.target,
+                                class: e.class,
+                            });
+                        }
+                    }
+                    _ => {}
+                },
                 None => {
                     // BTB miss on a taken branch: check the BTB prefetch
                     // buffer first (§V-C), otherwise pay the
                     // decode-detect bubble.
                     if let Some(branches) = self.machine.btb_buffer.take_for(i.pc) {
+                        if let Some(t) = self.machine.telem.as_deref_mut() {
+                            t.btbpf_hit(block_of(i.pc));
+                        }
                         for b in branches.iter() {
                             let class = b.class;
                             let target = if b.target != 0 { b.target } else { i.target };
@@ -761,6 +914,9 @@ impl Simulator {
                         }
                     } else {
                         btb_bubble = true;
+                        if let Some(t) = self.machine.telem.as_deref_mut() {
+                            t.btbpf_demand_miss(block_of(i.pc));
+                        }
                         self.machine.btb.insert(BtbEntry {
                             pc: i.pc,
                             target: i.target,
@@ -805,7 +961,10 @@ impl Simulator {
         for k in 0..u64::from(self.cfg.wrong_path_blocks) {
             let b = base + k;
             if !self.machine.l1i.contains(b) && !self.machine.mshr.contains(b) {
-                let _ = self.machine.uncore.access(self.machine.cycle, b, false, true);
+                let _ = self
+                    .machine
+                    .uncore
+                    .access(self.machine.cycle, b, false, true);
             }
         }
     }
@@ -818,6 +977,14 @@ impl Simulator {
             return;
         }
         let span = until - from;
+        if let Some(t) = self.machine.telem.as_deref_mut() {
+            let kind = match cause {
+                StallCause::L1i => TelemetryStall::L1i,
+                StallCause::Btb => TelemetryStall::Btb,
+                StallCause::Redirect => TelemetryStall::Redirect,
+            };
+            t.stall(kind, from, until);
+        }
         match cause {
             StallCause::L1i => self.machine.stats.stall_l1i += span,
             // Squashes (undetected taken branches, mispredictions)
@@ -842,7 +1009,8 @@ impl Simulator {
             self.machine.cycle = resume + k + 1;
             match &mut self.frontend {
                 Frontend::Conventional(Some(pf)) => {
-                    self.machine.drain_fills(Some(pf.as_mut() as &mut dyn InstrPrefetcher));
+                    self.machine
+                        .drain_fills(Some(pf.as_mut() as &mut dyn InstrPrefetcher));
                     pf.tick(&mut self.machine);
                 }
                 Frontend::Conventional(None) => self.machine.drain_fills(None),
@@ -864,6 +1032,7 @@ impl Simulator {
     fn step_directed<S: InstrStream>(&mut self, stream: &mut S, target: u64) {
         self.machine.cycle += 1;
         self.machine.stats.cycles += 1;
+        self.telemetry_tick();
         self.machine.drain_fills(None);
         // Discovery runs every cycle.
         match &mut self.frontend {
@@ -928,6 +1097,9 @@ impl Simulator {
                             self.direct_fetch_fallback(stream, target, &mut dispatched);
                         } else if dispatched == 0 {
                             self.machine.stats.stall_empty_ftq += 1;
+                            if let Some(t) = self.machine.telem.as_deref_mut() {
+                                t.add(Ctr::StallEmptyFtqCycles, 1);
+                            }
                         }
                         return;
                     }
@@ -938,7 +1110,10 @@ impl Simulator {
             if self.machine.prev_demand_block != Some(block) {
                 match self.machine.demand(block) {
                     DemandOutcome::Hit { .. } => {}
-                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                    DemandOutcome::Miss {
+                        ready_at,
+                        had_prefetch,
+                    } => {
                         if had_prefetch {
                             self.machine.account_late_prefetch(block, ready_at);
                         }
@@ -1031,7 +1206,10 @@ impl Simulator {
             if self.machine.prev_demand_block != Some(block) {
                 match self.machine.demand(block) {
                     DemandOutcome::Hit { .. } => {}
-                    DemandOutcome::Miss { ready_at, had_prefetch } => {
+                    DemandOutcome::Miss {
+                        ready_at,
+                        had_prefetch,
+                    } => {
                         if had_prefetch {
                             self.machine.account_late_prefetch(block, ready_at);
                         }
@@ -1206,7 +1384,11 @@ mod tests {
             "speedup {}",
             full.speedup_over(&base)
         );
-        assert!(full.fscr_over(&base) > 0.1, "fscr {}", full.fscr_over(&base));
+        assert!(
+            full.fscr_over(&base) > 0.1,
+            "fscr {}",
+            full.fscr_over(&base)
+        );
     }
 
     #[test]
@@ -1353,6 +1535,139 @@ mod tests {
         // The decoupled-core model caps sustained IPC at the backend
         // rate (plus redirect effects pulling it below).
         assert!(r.ipc() <= Simulator::BACKEND_IPC + 1e-9, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_detachable() {
+        let image = tiny_image();
+        let mut sim = Simulator::new(quick_cfg("SN4L"), Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        sim.run(&mut walker);
+        assert!(sim.take_telemetry().is_none(), "telemetry must default off");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_run() {
+        let plain = run("SN4L+Dis+BTB");
+        let image = tiny_image();
+        let mut cfg = quick_cfg("SN4L+Dis+BTB");
+        cfg.telemetry = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let observed = sim.run(&mut walker);
+        assert_eq!(observed.cycles, plain.cycles);
+        assert_eq!(observed.l1i.demand_misses, plain.l1i.demand_misses);
+        assert_eq!(observed.external_requests, plain.external_requests);
+    }
+
+    #[test]
+    fn telemetry_classifies_every_issued_prefetch() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("SN4L+Dis+BTB");
+        cfg.telemetry = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        let report = sim.take_telemetry().expect("telemetry enabled");
+        report.doc.validate().expect("schema + sum invariant");
+        // A second take returns nothing.
+        assert!(sim.take_telemetry().is_none());
+        // The run context matches the simulation report.
+        assert_eq!(report.doc.instrs, r.instrs);
+        assert_eq!(report.doc.method, "SN4L+Dis+BTB");
+        // Per-source: the four classes account for every issue.
+        let mut issued_total = 0;
+        for row in &report.doc.timeliness {
+            assert_eq!(
+                row.accurate + row.late + row.early_evicted + row.useless,
+                row.issued,
+                "{} classes must sum to issued",
+                row.source
+            );
+            issued_total += row.issued;
+        }
+        assert!(issued_total > 0, "the full system must issue prefetches");
+        // The proactive engine's first-level streams are attributed.
+        assert!(
+            report
+                .doc
+                .timeliness
+                .iter()
+                .any(|t| t.source == "sn4l" && t.accurate > 0),
+            "SN4L should land accurate prefetches: {:?}",
+            report.doc.timeliness
+        );
+        // BTB prefetching is on in the full system.
+        assert!(
+            report.doc.timeliness.iter().any(|t| t.source == "btb_pf"),
+            "BTB-prefetch rows missing"
+        );
+        // Counters cross-check the simulation report.
+        assert_eq!(report.doc.counter("seq_misses"), Some(r.seq_misses));
+        assert_eq!(report.doc.counter("disc_misses"), Some(r.disc_misses));
+        assert_eq!(
+            report.doc.counter("uncovered_misses"),
+            Some(r.uncovered_misses)
+        );
+        assert_eq!(report.doc.counter("stall_l1i_cycles"), Some(r.stall_l1i));
+        // Time series covers the measured instructions.
+        let series_instrs: u64 = report.doc.series.iter().map(|row| row[2]).sum();
+        assert_eq!(series_instrs, r.instrs, "windows must partition the run");
+        // Trace export is valid JSON.
+        let trace = report.chrome_trace();
+        dcfb_telemetry::JsonValue::parse(&trace).expect("valid Chrome trace JSON");
+    }
+
+    #[test]
+    fn telemetry_tracks_directed_frontend_ftq() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("Boomerang");
+        cfg.telemetry = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        sim.run(&mut walker);
+        let report = sim.take_telemetry().expect("telemetry enabled");
+        report.doc.validate().expect("valid doc");
+        // FTQ occupancy is only observable on the directed frontend.
+        let ftq = report
+            .doc
+            .histograms
+            .iter()
+            .find(|h| h.name == "ftq_occupancy")
+            .expect("ftq histogram");
+        assert!(ftq.count > 0, "directed frontend must sample the FTQ");
+        let row = report
+            .doc
+            .timeliness
+            .iter()
+            .find(|t| t.source == "boomerang")
+            .expect("boomerang prefetches");
+        assert_eq!(
+            row.accurate + row.late + row.early_evicted + row.useless,
+            row.issued
+        );
+    }
+
+    #[test]
+    fn telemetry_buffer_mode_attributes_buffer_hits() {
+        let image = tiny_image();
+        let mut cfg = quick_cfg("N4L");
+        cfg.use_prefetch_buffer = true;
+        cfg.telemetry = true;
+        let mut sim = Simulator::new(cfg, Arc::clone(&image));
+        let mut walker = dcfb_workloads::Walker::new(image, 5);
+        let r = sim.run(&mut walker);
+        assert!(r.buffer_hits > 0, "buffer must absorb misses");
+        let report = sim.take_telemetry().expect("telemetry enabled");
+        report.doc.validate().expect("valid doc");
+        assert_eq!(report.doc.counter("buffer_hits"), Some(r.buffer_hits));
+        let row = report
+            .doc
+            .timeliness
+            .iter()
+            .find(|t| t.source == "next_line")
+            .expect("next-line prefetches");
+        assert!(row.accurate > 0, "buffer hits must count as accurate");
     }
 
     #[test]

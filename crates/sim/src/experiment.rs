@@ -4,6 +4,7 @@
 use crate::config::SimConfig;
 use crate::engine::Simulator;
 use crate::metrics::SimReport;
+use dcfb_telemetry::TelemetryReport;
 use dcfb_workloads::{Walker, Workload};
 use std::sync::Arc;
 
@@ -57,6 +58,26 @@ pub fn run_config(workload: &Workload, cfg: SimConfig, trace_seed: u64) -> SimRe
     let mut sim = Simulator::new(cfg, Arc::clone(&image));
     let mut walker = Walker::new(image, trace_seed);
     sim.run(&mut walker)
+}
+
+/// Runs `cfg` on `workload` with telemetry recording forced on,
+/// returning the simulation report paired with the finalized
+/// telemetry export (metrics document, time series, trace events).
+///
+/// This is the engine behind `dcfb profile`. Note that telemetry
+/// recording does not change simulated behavior — only host time.
+pub fn run_config_profiled(
+    workload: &Workload,
+    mut cfg: SimConfig,
+    trace_seed: u64,
+) -> (SimReport, TelemetryReport) {
+    cfg.telemetry = true;
+    let image = workload.image(cfg.isa);
+    let mut sim = Simulator::new(cfg, Arc::clone(&image));
+    let mut walker = Walker::new(image, trace_seed);
+    let report = sim.run(&mut walker);
+    let telemetry = sim.take_telemetry().expect("telemetry was enabled above");
+    (report, telemetry)
 }
 
 /// Runs a method *and* the baseline on `workload` (same seed) and pairs

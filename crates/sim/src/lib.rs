@@ -63,5 +63,8 @@ pub mod metrics;
 
 pub use config::{PrefetcherKind, SimConfig};
 pub use engine::Simulator;
-pub use experiment::{geomean, run_config, run_multi_seed, run_workload, ExperimentResult, Measurement};
+pub use experiment::{
+    geomean, run_config, run_config_profiled, run_multi_seed, run_workload, ExperimentResult,
+    Measurement,
+};
 pub use metrics::{SimReport, StallKind};

@@ -74,6 +74,10 @@ pub struct SimReport {
     pub branch_accuracy: f64,
     /// Prefetches dropped (MSHRs full / queue overflow).
     pub dropped_prefetches: u64,
+    /// Demand misses absorbed by the prefetch buffer (already
+    /// re-credited as hits in `l1i`; kept separately so the JSON
+    /// output can surface the absorption count).
+    pub buffer_hits: u64,
 }
 
 impl SimReport {

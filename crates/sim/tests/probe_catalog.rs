@@ -17,7 +17,11 @@ fn catalog() {
         let fe = r.frontend_stalls() as f64 / r.cycles as f64;
         println!(
             "{:16} ipc={:.3} mpki={:5.1} seq_frac={:.2} fe_stall={:.2} red_frac={:.2} code_kb={}",
-            w.name, r.ipc(), r.l1i_mpki(), r.seq_miss_fraction(), fe,
+            w.name,
+            r.ipc(),
+            r.l1i_mpki(),
+            r.seq_miss_fraction(),
+            fe,
             r.stall_redirect as f64 / r.cycles as f64,
             image.code_bytes() / 1024,
         );

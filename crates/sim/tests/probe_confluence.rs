@@ -13,7 +13,17 @@ fn probe() {
         ..WorkloadParams::default()
     };
     let image = Arc::new(ProgramImage::build(&params, 3, IsaMode::Fixed4));
-    for m in ["Baseline", "NL", "N4L", "Confluence", "SN4L", "SN4L+Dis", "SN4L+Dis+BTB", "Boomerang", "Shotgun"] {
+    for m in [
+        "Baseline",
+        "NL",
+        "N4L",
+        "Confluence",
+        "SN4L",
+        "SN4L+Dis",
+        "SN4L+Dis+BTB",
+        "Boomerang",
+        "Shotgun",
+    ] {
         let mut cfg = SimConfig::for_method(m).unwrap();
         cfg.warmup_instrs = 60_000;
         cfg.measure_instrs = 120_000;

@@ -6,8 +6,18 @@ use std::sync::Arc;
 #[test]
 #[ignore]
 fn fig16() {
-    let methods = ["SN4L+Dis+BTB", "Shotgun", "Confluence", "SN4L", "SN4L+Dis", "N4L"];
-    println!("{:16} {:>8} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8}", "workload", "base", "SN4L+Dis+BTB", "Shotgun", "Confl", "SN4L", "S+Dis", "N4L");
+    let methods = [
+        "SN4L+Dis+BTB",
+        "Shotgun",
+        "Confluence",
+        "SN4L",
+        "SN4L+Dis",
+        "N4L",
+    ];
+    println!(
+        "{:16} {:>8} {:>13} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "base", "SN4L+Dis+BTB", "Shotgun", "Confl", "SN4L", "S+Dis", "N4L"
+    );
     let mut sums = vec![0.0; methods.len()];
     for w in all_workloads() {
         let image = w.image(IsaMode::Fixed4);

@@ -10,7 +10,9 @@ fn footprint() {
         let image = w.image(IsaMode::Fixed4);
         let mut walker = Walker::new(Arc::clone(&image), 7);
         // Skip warmup region
-        for _ in 0..500_000 { walker.next_instr(); }
+        for _ in 0..500_000 {
+            walker.next_instr();
+        }
         let mut window = HashSet::new();
         let mut total = HashSet::new();
         let mut windows = vec![];
@@ -25,7 +27,11 @@ fn footprint() {
         }
         println!(
             "{:16} per-100K-instr blocks: {:?}  1M-total: {} ({} KB) txns={}",
-            w.name, windows, total.len(), total.len() * 64 / 1024, walker.transactions(),
+            w.name,
+            windows,
+            total.len(),
+            total.len() * 64 / 1024,
+            walker.transactions(),
         );
     }
 }

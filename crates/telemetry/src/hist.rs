@@ -1,0 +1,231 @@
+//! Log2-bucketed histograms: fixed `[u64; 65]` storage, so recording
+//! a value is two array writes and never allocates.
+
+/// Which histogram a sample belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Hist {
+    /// Cycles a demand fetch waited on an uncovered miss.
+    MissLatency = 0,
+    /// Issue-to-fill latency of completed prefetches.
+    PrefetchLatency,
+    /// Per-cycle FTQ occupancy (directed frontend only).
+    FtqOccupancy,
+    /// Per-cycle MSHR occupancy.
+    MshrOccupancy,
+}
+
+impl Hist {
+    /// Number of histograms.
+    pub const COUNT: usize = 4;
+
+    /// All histograms, in index order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::MissLatency,
+        Hist::PrefetchLatency,
+        Hist::FtqOccupancy,
+        Hist::MshrOccupancy,
+    ];
+
+    /// Stable machine-readable name (used in the metrics schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::MissLatency => "miss_latency",
+            Hist::PrefetchLatency => "prefetch_latency",
+            Hist::FtqOccupancy => "ftq_occupancy",
+            Hist::MshrOccupancy => "mshr_occupancy",
+        }
+    }
+}
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `k` holds
+/// values in `[2^(k-1), 2^k)`, so 65 buckets cover all of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram with fixed storage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index for `value`: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw count in bucket `idx` (0 when out of range).
+    pub fn bucket(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs, for sparse export.
+    pub fn sparse(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect()
+    }
+
+    /// Upper bound (exclusive) of the smallest bucket prefix covering
+    /// at least `p` (0.0–1.0) of the samples: an approximate
+    /// percentile. Returns 0 when empty.
+    pub fn percentile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Log2Histogram::default();
+    }
+}
+
+/// The fixed set of all run histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSet {
+    hists: [Log2Histogram; Hist::COUNT],
+}
+
+impl HistSet {
+    /// All-empty histograms.
+    pub fn new() -> HistSet {
+        HistSet::default()
+    }
+
+    /// Records one sample into histogram `h`.
+    pub fn record(&mut self, h: Hist, value: u64) {
+        self.hists[h as usize].record(value);
+    }
+
+    /// Read access to histogram `h`.
+    pub fn get(&self, h: Hist) -> &Log2Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Clears every histogram.
+    pub fn reset(&mut self) {
+        for h in &mut self.hists {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 110);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(3), 1); // 4
+        assert_eq!(h.bucket(7), 1); // 100
+        assert_eq!(h.sparse().len(), 5);
+    }
+
+    #[test]
+    fn percentile_bound_is_monotone() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile_bound(0.5);
+        let p99 = h.percentile_bound(0.99);
+        assert!(p50 <= p99);
+        assert!((512..=1024).contains(&p50), "p50 bound {p50}");
+        assert_eq!(h.percentile_bound(1.0), 1024);
+    }
+
+    #[test]
+    fn histset_routes_by_kind() {
+        let mut hs = HistSet::new();
+        hs.record(Hist::MissLatency, 30);
+        hs.record(Hist::FtqOccupancy, 5);
+        assert_eq!(hs.get(Hist::MissLatency).count(), 1);
+        assert_eq!(hs.get(Hist::FtqOccupancy).count(), 1);
+        assert_eq!(hs.get(Hist::MshrOccupancy).count(), 0);
+        hs.reset();
+        assert_eq!(hs.get(Hist::MissLatency).count(), 0);
+    }
+}

@@ -1,0 +1,555 @@
+//! `RunTelemetry`: one run's recording state and the engine-facing
+//! event vocabulary.
+//!
+//! The simulator holds `Option<Box<RunTelemetry>>`; with telemetry
+//! off the option is `None` and every instrumentation site reduces to
+//! one never-taken branch, which is how the subsystem meets its
+//! < 2 % off-mode overhead budget.
+
+use crate::counters::{CounterSet, Ctr};
+use crate::doc::{HistDump, MetricsDoc, TimelinessRow, METRICS_SCHEMA, SERIES_COLUMNS};
+use crate::hist::{Hist, HistSet};
+use crate::series::{WindowSample, WindowSeries};
+use crate::sink::{Sink, StallKind};
+use crate::source::PfSource;
+use crate::timeliness::{TimelinessCounts, TimelinessTracker};
+use crate::trace_event::{chrome_trace_json, TraceEvent};
+
+/// Recording knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Nominal time-series window width in cycles.
+    pub window_cycles: u64,
+    /// Maximum retained windows before pairwise coalescing.
+    pub series_capacity: usize,
+    /// Maximum retained trace events; overflow increments
+    /// [`Ctr::TraceEventsDropped`].
+    pub max_trace_events: usize,
+    /// Early-evicted FIFO window size (per tracker).
+    pub evicted_window: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window_cycles: 1024,
+            series_capacity: 512,
+            max_trace_events: 50_000,
+            evicted_window: 4096,
+        }
+    }
+}
+
+/// Cumulative pipeline state sampled once per simulated cycle.
+/// All fields except the occupancies are running totals; the recorder
+/// differences them at window boundaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CycleSample {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Instructions fetched so far.
+    pub instrs: u64,
+    /// L1i demand misses so far.
+    pub demand_misses: u64,
+    /// BTB lookups so far.
+    pub btb_lookups: u64,
+    /// BTB hits so far.
+    pub btb_hits: u64,
+    /// RLU lookups so far (0 when the method has no RLU).
+    pub rlu_lookups: u64,
+    /// RLU hits so far.
+    pub rlu_hits: u64,
+    /// FTQ occupancy this cycle; `None` on the conventional frontend.
+    pub ftq_occupancy: Option<u64>,
+    /// MSHR occupancy this cycle.
+    pub mshr_occupancy: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Cumulative {
+    instrs: u64,
+    demand_misses: u64,
+    pf_issued: u64,
+    btb_lookups: u64,
+    btb_hits: u64,
+    rlu_lookups: u64,
+    rlu_hits: u64,
+}
+
+/// Identity and totals of the finished run, supplied at
+/// [`RunTelemetry::finalize`] time.
+#[derive(Clone, Debug, Default)]
+pub struct RunMeta {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetch method name.
+    pub method: String,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Measured instructions.
+    pub instrs: u64,
+}
+
+/// Everything a finished run exports.
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// The structured metrics document.
+    pub doc: MetricsDoc,
+    /// Raw trace events (render with
+    /// [`TelemetryReport::chrome_trace`]).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TelemetryReport {
+    /// The Chrome trace-event JSON for this run.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.events)
+    }
+}
+
+/// Recording state for one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunTelemetry {
+    cfg: TelemetryConfig,
+    counters: CounterSet,
+    hists: HistSet,
+    /// MSHR-mediated (L1i) prefetches, keyed by cache block.
+    timeliness: TimelinessTracker,
+    /// BTB prefetch-buffer fills — a separate tracker because its
+    /// block keyspace overlaps the L1i one but means something else.
+    btbpf: TimelinessTracker,
+    series: WindowSeries,
+    started: bool,
+    window_start: u64,
+    snap: Cumulative,
+    ftq_occ_sum: u64,
+    ftq_samples: u64,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+}
+
+impl RunTelemetry {
+    /// A fresh recorder.
+    pub fn new(cfg: TelemetryConfig) -> RunTelemetry {
+        RunTelemetry {
+            cfg,
+            counters: CounterSet::new(),
+            hists: HistSet::new(),
+            timeliness: TimelinessTracker::new(cfg.evicted_window),
+            btbpf: TimelinessTracker::new(cfg.evicted_window),
+            series: WindowSeries::new(cfg.window_cycles, cfg.series_capacity),
+            started: false,
+            window_start: 0,
+            snap: Cumulative::default(),
+            ftq_occ_sum: 0,
+            ftq_samples: 0,
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    fn cumulative(&self, s: &CycleSample) -> Cumulative {
+        Cumulative {
+            instrs: s.instrs,
+            demand_misses: s.demand_misses,
+            pf_issued: self.counters.get(Ctr::PfIssued),
+            btb_lookups: s.btb_lookups,
+            btb_hits: s.btb_hits,
+            rlu_lookups: s.rlu_lookups,
+            rlu_hits: s.rlu_hits,
+        }
+    }
+
+    /// Per-cycle sample: occupancy histograms plus window rollover.
+    pub fn tick(&mut self, s: &CycleSample) {
+        if let Some(occ) = s.ftq_occupancy {
+            self.hists.record(Hist::FtqOccupancy, occ);
+            self.ftq_occ_sum += occ;
+            self.ftq_samples += 1;
+        }
+        self.hists.record(Hist::MshrOccupancy, s.mshr_occupancy);
+        if !self.started {
+            self.started = true;
+            self.window_start = s.cycle;
+            self.snap = self.cumulative(s);
+            return;
+        }
+        if s.cycle.saturating_sub(self.window_start) >= self.series.window_cycles() {
+            self.close_window(s);
+        }
+    }
+
+    fn close_window(&mut self, s: &CycleSample) {
+        let cur = self.cumulative(s);
+        let w = WindowSample {
+            start_cycle: self.window_start,
+            cycles: s.cycle - self.window_start,
+            instrs: cur.instrs.saturating_sub(self.snap.instrs),
+            demand_misses: cur.demand_misses.saturating_sub(self.snap.demand_misses),
+            pf_issued: cur.pf_issued.saturating_sub(self.snap.pf_issued),
+            btb_lookups: cur.btb_lookups.saturating_sub(self.snap.btb_lookups),
+            btb_hits: cur.btb_hits.saturating_sub(self.snap.btb_hits),
+            rlu_lookups: cur.rlu_lookups.saturating_sub(self.snap.rlu_lookups),
+            rlu_hits: cur.rlu_hits.saturating_sub(self.snap.rlu_hits),
+            ftq_occ_sum: self.ftq_occ_sum,
+            ftq_samples: self.ftq_samples,
+        };
+        self.push_event(TraceEvent::counter(
+            "window",
+            self.window_start,
+            vec![
+                ("instrs", w.instrs),
+                ("demand_misses", w.demand_misses),
+                ("pf_issued", w.pf_issued),
+            ],
+        ));
+        self.series.push(w);
+        self.window_start = s.cycle;
+        self.snap = cur;
+        self.ftq_occ_sum = 0;
+        self.ftq_samples = 0;
+    }
+
+    fn push_event(&mut self, e: TraceEvent) {
+        if self.events.len() < self.cfg.max_trace_events {
+            self.events.push(e);
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
+    // --- L1i prefetch lifecycle -------------------------------------
+
+    /// A prefetch for `block` allocated an MSHR.
+    pub fn pf_issued(&mut self, block: u64, source: PfSource) {
+        self.counters.add(Ctr::PfIssued, 1);
+        self.timeliness.issue(block, source);
+    }
+
+    /// A prefetch was dropped (MSHR full).
+    pub fn pf_dropped(&mut self) {
+        self.counters.add(Ctr::PfDropped, 1);
+    }
+
+    /// A demand request merged onto the in-flight prefetch of `block`.
+    pub fn pf_late(&mut self, block: u64) {
+        self.counters.add(Ctr::PfLate, 1);
+        self.timeliness.late(block);
+    }
+
+    /// The prefetch of `block` filled (L1i or prefetch buffer) with
+    /// no demand waiting; `latency` is issue-to-fill cycles.
+    pub fn pf_fill(&mut self, block: u64, latency: u64) {
+        self.hists.record(Hist::PrefetchLatency, latency);
+        self.timeliness.fill(block);
+    }
+
+    /// A demand fetch hit the still-unused prefetched `block`.
+    pub fn pf_hit(&mut self, block: u64) {
+        self.timeliness.hit(block);
+    }
+
+    /// The unused prefetched `block` was evicted.
+    pub fn pf_evict_unused(&mut self, block: u64) {
+        self.timeliness.evict_unused(block);
+    }
+
+    /// A demand miss on `block` (checks the early-evicted window).
+    pub fn pf_demand_miss(&mut self, block: u64) {
+        self.timeliness.demand_miss(block);
+    }
+
+    // --- BTB prefetch-buffer lifecycle ------------------------------
+
+    /// A pre-decoded branch set for `block` was staged into the BTB
+    /// prefetch buffer; `evicted` is the displaced block, if any.
+    pub fn btbpf_fill(&mut self, block: u64, evicted: Option<u64>) {
+        self.btbpf.issue(block, PfSource::BtbPf);
+        self.btbpf.fill(block);
+        if let Some(ev) = evicted {
+            self.btbpf.evict_unused(ev);
+        }
+    }
+
+    /// A BTB miss was served from the prefetch buffer.
+    pub fn btbpf_hit(&mut self, block: u64) {
+        self.btbpf.hit(block);
+    }
+
+    /// A BTB miss on `block` missed the prefetch buffer too.
+    pub fn btbpf_demand_miss(&mut self, block: u64) {
+        self.btbpf.demand_miss(block);
+    }
+
+    // --- Generic recording ------------------------------------------
+
+    /// Adds `delta` to counter `ctr`.
+    pub fn add(&mut self, ctr: Ctr, delta: u64) {
+        self.counters.add(ctr, delta);
+    }
+
+    /// Records `value` into histogram `h`.
+    pub fn observe(&mut self, h: Hist, value: u64) {
+        self.hists.record(h, value);
+    }
+
+    /// Records a stall of `kind` spanning `[from, to)` cycles.
+    pub fn stall(&mut self, kind: StallKind, from: u64, to: u64) {
+        let cycles = to.saturating_sub(from);
+        let (ev, cy, tid) = match kind {
+            StallKind::L1i => (Ctr::StallL1iEvents, Ctr::StallL1iCycles, 1),
+            StallKind::Btb => (Ctr::StallBtbEvents, Ctr::StallBtbCycles, 2),
+            StallKind::Redirect => (Ctr::StallRedirectEvents, Ctr::StallRedirectCycles, 3),
+        };
+        self.counters.add(ev, 1);
+        self.counters.add(cy, cycles);
+        self.push_event(TraceEvent::span(kind.name(), from, cycles, tid));
+    }
+
+    /// Discards everything recorded so far (measurement-window
+    /// reset). Prefetches in flight across the reset are forgotten,
+    /// keeping the timeliness sum invariant intact.
+    pub fn reset(&mut self) {
+        self.counters.reset();
+        self.hists.reset();
+        self.timeliness.reset();
+        self.btbpf.reset();
+        self.series.reset();
+        self.started = false;
+        self.window_start = 0;
+        self.snap = Cumulative::default();
+        self.ftq_occ_sum = 0;
+        self.ftq_samples = 0;
+        self.events.clear();
+        self.dropped_events = 0;
+    }
+
+    /// Current value of `ctr` (for tests and summaries).
+    pub fn counter(&self, ctr: Ctr) -> u64 {
+        self.counters.get(ctr)
+    }
+
+    /// Combined timeliness tallies for `source` (L1i + BTB trackers).
+    pub fn timeliness_counts(&self, source: PfSource) -> TimelinessCounts {
+        let a = self.timeliness.counts(source);
+        let b = self.btbpf.counts(source);
+        TimelinessCounts {
+            issued: a.issued + b.issued,
+            accurate: a.accurate + b.accurate,
+            late: a.late + b.late,
+            early_evicted: a.early_evicted + b.early_evicted,
+            useless: a.useless + b.useless,
+        }
+    }
+
+    /// Closes the run: flushes the partial window, finalizes
+    /// timeliness, and builds the export document.
+    pub fn finalize(mut self, meta: &RunMeta, final_sample: &CycleSample) -> TelemetryReport {
+        if self.started && final_sample.cycle > self.window_start {
+            self.close_window(final_sample);
+        }
+        self.timeliness.finalize();
+        self.btbpf.finalize();
+        self.counters
+            .add(Ctr::TraceEventsDropped, self.dropped_events);
+
+        let histograms = Hist::ALL
+            .iter()
+            .map(|h| {
+                let hist = self.hists.get(*h);
+                HistDump {
+                    name: h.name().to_owned(),
+                    count: hist.count(),
+                    sum: hist.sum(),
+                    buckets: hist.sparse(),
+                }
+            })
+            .collect();
+
+        let timeliness = PfSource::ALL
+            .iter()
+            .filter(|s| s.is_prefetch())
+            .map(|s| (s, self.timeliness_counts(*s)))
+            .filter(|(_, c)| c.issued > 0 || c.classified() > 0)
+            .map(|(s, c)| TimelinessRow {
+                source: s.name().to_owned(),
+                issued: c.issued,
+                accurate: c.accurate,
+                late: c.late,
+                early_evicted: c.early_evicted,
+                useless: c.useless,
+            })
+            .collect();
+
+        let series = self
+            .series
+            .windows()
+            .iter()
+            .map(|w| {
+                let row = vec![
+                    w.start_cycle,
+                    w.cycles,
+                    w.instrs,
+                    w.demand_misses,
+                    w.pf_issued,
+                    w.btb_lookups,
+                    w.btb_hits,
+                    w.rlu_lookups,
+                    w.rlu_hits,
+                    w.ftq_occ_sum,
+                    w.ftq_samples,
+                ];
+                debug_assert_eq!(row.len(), SERIES_COLUMNS.len());
+                row
+            })
+            .collect();
+
+        let doc = MetricsDoc {
+            schema: METRICS_SCHEMA.to_owned(),
+            workload: meta.workload.clone(),
+            method: meta.method.clone(),
+            cycles: meta.cycles,
+            instrs: meta.instrs,
+            counters: self.counters.dump(),
+            histograms,
+            timeliness,
+            window_cycles: self.series.window_cycles(),
+            series,
+        };
+        TelemetryReport {
+            doc,
+            events: self.events,
+        }
+    }
+}
+
+impl Sink for RunTelemetry {
+    fn add(&mut self, ctr: Ctr, delta: u64) {
+        RunTelemetry::add(self, ctr, delta);
+    }
+    fn observe(&mut self, h: Hist, value: u64) {
+        RunTelemetry::observe(self, h, value);
+    }
+    fn stall(&mut self, kind: StallKind, from: u64, to: u64) {
+        RunTelemetry::stall(self, kind, from, to);
+    }
+    fn prefetch_issued(&mut self, block: u64, source: PfSource) {
+        self.pf_issued(block, source);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64, instrs: u64) -> CycleSample {
+        CycleSample {
+            cycle,
+            instrs,
+            ftq_occupancy: Some(instrs % 8),
+            ..CycleSample::default()
+        }
+    }
+
+    fn finalize(rt: RunTelemetry, cycle: u64, instrs: u64) -> TelemetryReport {
+        let meta = RunMeta {
+            workload: "synthetic".to_owned(),
+            method: "SN4L+Dis+BTB".to_owned(),
+            cycles: cycle,
+            instrs,
+        };
+        rt.finalize(&meta, &sample(cycle, instrs))
+    }
+
+    #[test]
+    fn windows_roll_and_doc_validates() {
+        let mut rt = RunTelemetry::new(TelemetryConfig {
+            window_cycles: 10,
+            ..TelemetryConfig::default()
+        });
+        for c in 0..100 {
+            rt.tick(&sample(c, c * 2));
+        }
+        rt.pf_issued(5, PfSource::Sn4l);
+        rt.pf_fill(5, 20);
+        rt.pf_hit(5);
+        rt.stall(StallKind::L1i, 50, 80);
+        let report = finalize(rt, 100, 200);
+        report.doc.validate().expect("valid doc");
+        assert!(report.doc.series.len() >= 9);
+        let total_instrs: u64 = report.doc.series.iter().map(|r| r[2]).sum();
+        assert_eq!(total_instrs, 200);
+        assert_eq!(report.doc.counter("stall_l1i_cycles"), Some(30));
+        let row = &report.doc.timeliness[0];
+        assert_eq!(row.source, "sn4l");
+        assert_eq!((row.issued, row.accurate), (1, 1));
+    }
+
+    #[test]
+    fn sum_invariant_after_messy_run() {
+        let mut rt = RunTelemetry::new(TelemetryConfig::default());
+        // accurate, late, early-evicted, useless, in-flight-at-end.
+        rt.pf_issued(1, PfSource::Sn4l);
+        rt.pf_fill(1, 10);
+        rt.pf_hit(1);
+        rt.pf_issued(2, PfSource::Dis);
+        rt.pf_late(2);
+        rt.pf_issued(3, PfSource::ProactiveChain);
+        rt.pf_fill(3, 10);
+        rt.pf_evict_unused(3);
+        rt.pf_demand_miss(3);
+        rt.pf_issued(4, PfSource::Sn4l);
+        rt.pf_fill(4, 10);
+        rt.pf_evict_unused(4);
+        rt.pf_issued(5, PfSource::Dis); // still in flight
+        rt.btbpf_fill(100, None);
+        rt.btbpf_hit(100);
+        rt.btbpf_fill(101, Some(102));
+        let report = finalize(rt, 10, 10);
+        report.doc.validate().expect("sum invariant");
+        let issued: u64 = report.doc.timeliness.iter().map(|t| t.issued).sum();
+        assert_eq!(issued, 7);
+        let btb = report
+            .doc
+            .timeliness
+            .iter()
+            .find(|t| t.source == "btb_pf")
+            .expect("btb_pf row");
+        assert_eq!(btb.issued, 2);
+        assert_eq!(btb.accurate, 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut rt = RunTelemetry::new(TelemetryConfig::default());
+        for c in 0..5000 {
+            rt.tick(&sample(c, c));
+        }
+        rt.pf_issued(1, PfSource::Sn4l);
+        rt.stall(StallKind::Btb, 1, 4);
+        rt.reset();
+        assert_eq!(rt.counter(Ctr::PfIssued), 0);
+        let report = finalize(rt, 10, 0);
+        assert_eq!(report.doc.counter("stall_btb_events"), Some(0));
+        assert!(report.doc.timeliness.is_empty());
+        assert!(report.events.is_empty() || report.events.len() == 1);
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let mut rt = RunTelemetry::new(TelemetryConfig {
+            max_trace_events: 2,
+            ..TelemetryConfig::default()
+        });
+        for i in 0..5 {
+            rt.stall(StallKind::Redirect, i * 10, i * 10 + 3);
+        }
+        let report = finalize(rt, 100, 0);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.doc.counter("trace_events_dropped"), Some(3));
+        // Trace is still valid JSON with sorted timestamps.
+        let text = report.chrome_trace();
+        crate::json::JsonValue::parse(&text).expect("valid trace JSON");
+    }
+}

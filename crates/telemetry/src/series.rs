@@ -1,0 +1,176 @@
+//! Windowed time-series with bounded memory: a flight recorder.
+//!
+//! Samples are aggregated over fixed windows of simulated cycles.
+//! When the buffer reaches capacity, adjacent windows are coalesced
+//! pairwise and the window width doubles, so an arbitrarily long run
+//! always fits in `capacity` windows at progressively coarser
+//! resolution — memory is bounded and the full run remains visible.
+
+/// One aggregated window of run activity. All fields are raw sums;
+/// rates (hit rates, IPC) are derived at export time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// First cycle covered by the window.
+    pub start_cycle: u64,
+    /// Cycles actually covered (windows widen across stalls and after
+    /// coalescing).
+    pub cycles: u64,
+    /// Instructions fetched in the window.
+    pub instrs: u64,
+    /// L1i demand misses in the window.
+    pub demand_misses: u64,
+    /// Prefetches issued in the window.
+    pub pf_issued: u64,
+    /// BTB lookups in the window.
+    pub btb_lookups: u64,
+    /// BTB hits in the window.
+    pub btb_hits: u64,
+    /// RLU lookups in the window (0 for methods without an RLU).
+    pub rlu_lookups: u64,
+    /// RLU hits in the window.
+    pub rlu_hits: u64,
+    /// Sum of per-cycle FTQ occupancy samples.
+    pub ftq_occ_sum: u64,
+    /// Number of FTQ occupancy samples (0 for the conventional
+    /// frontend, which has no FTQ).
+    pub ftq_samples: u64,
+}
+
+impl WindowSample {
+    /// Folds `other` (the later window) into `self`.
+    fn merge(&mut self, other: &WindowSample) {
+        self.cycles += other.cycles;
+        self.instrs += other.instrs;
+        self.demand_misses += other.demand_misses;
+        self.pf_issued += other.pf_issued;
+        self.btb_lookups += other.btb_lookups;
+        self.btb_hits += other.btb_hits;
+        self.rlu_lookups += other.rlu_lookups;
+        self.rlu_hits += other.rlu_hits;
+        self.ftq_occ_sum += other.ftq_occ_sum;
+        self.ftq_samples += other.ftq_samples;
+    }
+}
+
+/// Bounded buffer of [`WindowSample`]s with pairwise coalescing.
+#[derive(Clone, Debug)]
+pub struct WindowSeries {
+    window_cycles: u64,
+    capacity: usize,
+    windows: Vec<WindowSample>,
+}
+
+impl WindowSeries {
+    /// A series aggregating over `window_cycles`-cycle windows,
+    /// holding at most `capacity` windows before coalescing. Both are
+    /// clamped to at least 1 / 2 respectively.
+    pub fn new(window_cycles: u64, capacity: usize) -> WindowSeries {
+        WindowSeries {
+            window_cycles: window_cycles.max(1),
+            capacity: capacity.max(2),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Current aggregation width in cycles (doubles on coalesce).
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Appends a completed window, coalescing first if full.
+    pub fn push(&mut self, w: WindowSample) {
+        if self.windows.len() >= self.capacity {
+            self.coalesce();
+        }
+        self.windows.push(w);
+    }
+
+    /// Recorded windows, oldest first.
+    pub fn windows(&self) -> &[WindowSample] {
+        &self.windows
+    }
+
+    /// Discards all windows (aggregation width is kept).
+    pub fn reset(&mut self) {
+        self.windows.clear();
+    }
+
+    fn coalesce(&mut self) {
+        let mut merged = Vec::with_capacity(self.windows.len() / 2 + 1);
+        let mut it = self.windows.chunks_exact(2);
+        for pair in &mut it {
+            let mut w = pair[0];
+            w.merge(&pair[1]);
+            merged.push(w);
+        }
+        if let [last] = it.remainder() {
+            merged.push(*last);
+        }
+        self.windows = merged;
+        self.window_cycles = self.window_cycles.saturating_mul(2);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn sample(start: u64, instrs: u64) -> WindowSample {
+        WindowSample {
+            start_cycle: start,
+            cycles: 100,
+            instrs,
+            demand_misses: 1,
+            ..WindowSample::default()
+        }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_all() {
+        let mut s = WindowSeries::new(100, 8);
+        for i in 0..8 {
+            s.push(sample(i * 100, 10));
+        }
+        assert_eq!(s.windows().len(), 8);
+        assert_eq!(s.window_cycles(), 100);
+    }
+
+    #[test]
+    fn coalesce_halves_and_doubles() {
+        let mut s = WindowSeries::new(100, 4);
+        for i in 0..5 {
+            s.push(sample(i * 100, 10));
+        }
+        // 4 windows coalesced to 2, then the 5th appended.
+        assert_eq!(s.windows().len(), 3);
+        assert_eq!(s.window_cycles(), 200);
+        let w0 = s.windows()[0];
+        assert_eq!(w0.start_cycle, 0);
+        assert_eq!(w0.cycles, 200);
+        assert_eq!(w0.instrs, 20);
+        assert_eq!(w0.demand_misses, 2);
+    }
+
+    #[test]
+    fn totals_survive_repeated_coalescing() {
+        let mut s = WindowSeries::new(1, 4);
+        for i in 0..1000 {
+            s.push(sample(i, 3));
+        }
+        assert!(s.windows().len() <= 4);
+        let total: u64 = s.windows().iter().map(|w| w.instrs).sum();
+        assert_eq!(total, 3000);
+        assert!(s.window_cycles() > 1);
+    }
+
+    #[test]
+    fn odd_remainder_is_kept() {
+        let mut s = WindowSeries::new(10, 2);
+        s.push(sample(0, 1));
+        s.push(sample(10, 2));
+        s.push(sample(20, 4));
+        let total: u64 = s.windows().iter().map(|w| w.instrs).sum();
+        assert_eq!(total, 7);
+    }
+}

@@ -484,9 +484,7 @@ fn read_v2_body<R: Read>(
         let k = u64::from(chunk_records).min(remaining) as usize;
         let chunk_at = r.pos;
         let body = &mut payload[..k * RECORD_BYTES];
-        let fail = |err: DcfbError,
-                    salvage: &mut Option<DcfbError>|
-         -> Result<bool, DcfbError> {
+        let fail = |err: DcfbError, salvage: &mut Option<DcfbError>| -> Result<bool, DcfbError> {
             match mode {
                 ReadMode::Strict => Err(err),
                 ReadMode::Lenient => {
@@ -600,11 +598,7 @@ fn kind_name(kind: InstrKind) -> &'static str {
 /// Writes up to `limit` instructions as text, one per line:
 /// `pc size kind [target [taken]]` (hex pc/target). Returns the number
 /// written.
-pub fn write_text<S: InstrStream, W: Write>(
-    stream: &mut S,
-    out: W,
-    limit: u64,
-) -> io::Result<u64> {
+pub fn write_text<S: InstrStream, W: Write>(stream: &mut S, out: W, limit: u64) -> io::Result<u64> {
     let mut w = BufWriter::new(out);
     writeln!(w, "# dcfb text trace v1: pc size kind [target [taken]]")?;
     let mut n = 0u64;

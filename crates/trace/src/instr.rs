@@ -302,7 +302,10 @@ mod tests {
     fn static_kind_mapping_is_consistent() {
         let pairs = [
             (InstrKind::Other, StaticKind::Other),
-            (InstrKind::CondBranch { taken: true }, StaticKind::CondBranch),
+            (
+                InstrKind::CondBranch { taken: true },
+                StaticKind::CondBranch,
+            ),
             (InstrKind::Jump, StaticKind::Jump),
             (InstrKind::Call, StaticKind::Call),
             (InstrKind::IndirectJump, StaticKind::IndirectJump),

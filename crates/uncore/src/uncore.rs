@@ -142,7 +142,13 @@ impl Uncore {
 
     /// Issues a block fetch at `now`. The block is installed in the LLC
     /// on the way up (on a memory fill).
-    pub fn access(&mut self, now: u64, block: Block, is_prefetch: bool, is_instruction: bool) -> AccessResult {
+    pub fn access(
+        &mut self,
+        now: u64,
+        block: Block,
+        is_prefetch: bool,
+        is_instruction: bool,
+    ) -> AccessResult {
         self.stats.requests += 1;
         if is_prefetch {
             self.stats.prefetch_requests += 1;

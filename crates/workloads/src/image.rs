@@ -117,11 +117,21 @@ struct PlanBb {
 
 enum PlanTerm {
     FallThrough,
-    CondSkip { p_taken: f64, skip: u32 }, // taken_to = own index + 1 + skip
-    LoopBack { iters: u32 },              // taken_to = own index
-    DispatchJump,                         // dispatcher's back edge
-    Call { callee: u32 },
-    IndirectCall { callees: Vec<u32>, cum_weights: Vec<f64> },
+    CondSkip {
+        p_taken: f64,
+        skip: u32,
+    }, // taken_to = own index + 1 + skip
+    LoopBack {
+        iters: u32,
+    }, // taken_to = own index
+    DispatchJump, // dispatcher's back edge
+    Call {
+        callee: u32,
+    },
+    IndirectCall {
+        callees: Vec<u32>,
+        cum_weights: Vec<f64>,
+    },
     Return,
 }
 
@@ -299,9 +309,8 @@ impl ProgramImage {
                     let indirect = rng.gen_range(0.0..1.0) < params.indirect_frac;
                     if indirect {
                         let k = rng.gen_range(2..=4usize);
-                        let callees: Vec<u32> = (0..k)
-                            .filter_map(|_| pick_callee(&mut rng, fid))
-                            .collect();
+                        let callees: Vec<u32> =
+                            (0..k).filter_map(|_| pick_callee(&mut rng, fid)).collect();
                         if callees.is_empty() {
                             bbs.push(PlanBb {
                                 sizes: mk_sizes(&mut rng, hot_n, false),
@@ -397,9 +406,7 @@ impl ProgramImage {
                                 let tgt = bb_starts[fid][bid + 1 + *skip as usize];
                                 (StaticKind::CondBranch, Some(tgt))
                             }
-                            PlanTerm::LoopBack { .. } => {
-                                (StaticKind::CondBranch, Some(start))
-                            }
+                            PlanTerm::LoopBack { .. } => (StaticKind::CondBranch, Some(start)),
                             PlanTerm::DispatchJump => (StaticKind::CondBranch, Some(start)),
                             PlanTerm::Call { callee } => {
                                 (StaticKind::Call, Some(fn_entries[*callee as usize]))
@@ -613,8 +620,7 @@ mod tests {
     #[test]
     fn variable_isa_instrs_vary() {
         let img = ProgramImage::build(&small_params(), 42, IsaMode::Variable);
-        let sizes: std::collections::HashSet<u8> =
-            img.instrs().iter().map(|i| i.size).collect();
+        let sizes: std::collections::HashSet<u8> = img.instrs().iter().map(|i| i.size).collect();
         assert!(sizes.len() > 3);
     }
 
@@ -639,7 +645,10 @@ mod tests {
         let disp = &img.functions()[0];
         assert_eq!(disp.blocks.len(), 2);
         match &disp.blocks[0].term {
-            Terminator::IndirectCall { callees, cum_weights } => {
+            Terminator::IndirectCall {
+                callees,
+                cum_weights,
+            } => {
                 assert_eq!(callees.len(), img.roots().len());
                 assert!((cum_weights.last().unwrap() - 1.0).abs() < 1e-9);
             }
@@ -654,8 +663,7 @@ mod tests {
         for f in img.functions() {
             for (bid, bb) in f.blocks.iter().enumerate() {
                 if let Terminator::Cond { taken_to, .. } = bb.term {
-                    let term_instr =
-                        &img.instrs()[(bb.first_instr + bb.n_instrs - 1) as usize];
+                    let term_instr = &img.instrs()[(bb.first_instr + bb.n_instrs - 1) as usize];
                     assert_eq!(term_instr.kind, StaticKind::CondBranch);
                     assert_eq!(
                         term_instr.target.unwrap(),
@@ -673,8 +681,7 @@ mod tests {
         for f in img.functions() {
             for bb in &f.blocks {
                 if let Terminator::Call { callee } = bb.term {
-                    let term_instr =
-                        &img.instrs()[(bb.first_instr + bb.n_instrs - 1) as usize];
+                    let term_instr = &img.instrs()[(bb.first_instr + bb.n_instrs - 1) as usize];
                     assert_eq!(term_instr.kind, StaticKind::Call);
                     assert_eq!(
                         term_instr.target.unwrap(),
@@ -722,11 +729,7 @@ mod tests {
         assert!(cond > 0 && uncond > 0 && indirect > 0 && rets > 0);
         // One return per non-dispatcher function.
         assert_eq!(rets, img.functions().len() - 1);
-        let branches = img
-            .instrs()
-            .iter()
-            .filter(|i| i.kind.is_branch())
-            .count();
+        let branches = img.instrs().iter().filter(|i| i.kind.is_branch()).count();
         assert_eq!(branches, cond + uncond + indirect + rets);
     }
 

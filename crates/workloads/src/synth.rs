@@ -78,10 +78,10 @@ impl Walker {
 
 /// Where the walker goes after emitting a block terminator.
 enum Next {
-    Stay,                 // advance within the block
-    Bb(u32),              // another bb of the same function
-    CallInto(u32),        // push frame, enter callee
-    Pop,                  // return to caller frame
+    Stay,          // advance within the block
+    Bb(u32),       // another bb of the same function
+    CallInto(u32), // push frame, enter callee
+    Pop,           // return to caller frame
 }
 
 impl InstrStream for Walker {
@@ -119,10 +119,7 @@ impl InstrStream for Walker {
                 }
                 Terminator::Loop { iters, taken_to } => {
                     let key = (self.cur_fn, self.cur_bb);
-                    let remaining = self
-                        .loop_counts
-                        .entry(key)
-                        .or_insert(*iters);
+                    let remaining = self.loop_counts.entry(key).or_insert(*iters);
                     let taken = *remaining > 1;
                     if taken {
                         *remaining -= 1;
@@ -317,10 +314,7 @@ mod tests {
         let stats = StreamStats::measure(&mut w, 1_000_000);
         let density = stats.branch_density();
         // Server code: roughly 1 branch per 4-8 instructions.
-        assert!(
-            (0.05..0.35).contains(&density),
-            "branch density {density}"
-        );
+        assert!((0.05..0.35).contains(&density), "branch density {density}");
         // Conditionals are mostly biased-taken or not-taken, but both
         // directions occur.
         assert!(stats.cond_taken > 0);

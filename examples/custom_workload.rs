@@ -51,12 +51,16 @@ fn main() {
     let mut walker = Walker::new(Arc::clone(&image), 7);
     let stats = StreamStats::measure(&mut walker, 1_000_000);
     println!("\ndynamic trace (1M instructions):");
-    println!("  branch density   : {:.1}%", stats.branch_density() * 100.0);
+    println!(
+        "  branch density   : {:.1}%",
+        stats.branch_density() * 100.0
+    );
     println!("  touched footprint: {:.0} KiB", stats.footprint_kib());
     println!("  transactions     : {}", walker.transactions());
 
     let mut walker = Walker::new(Arc::clone(&image), 7);
-    let (seq, disc) = analysis::sequential_miss_fraction(&mut walker, CacheConfig::l1i(), 1_000_000);
+    let (seq, disc) =
+        analysis::sequential_miss_fraction(&mut walker, CacheConfig::l1i(), 1_000_000);
     println!(
         "  L1i misses       : {} sequential / {} discontinuity ({:.0}% sequential)",
         seq,
@@ -65,7 +69,10 @@ fn main() {
     );
     let mut walker = Walker::new(Arc::clone(&image), 7);
     let stability = analysis::discontinuity_stability(&mut walker, 1_000_000);
-    println!("  disc. stability  : {:.0}% (same branch as last time)", stability * 100.0);
+    println!(
+        "  disc. stability  : {:.0}% (same branch as last time)",
+        stability * 100.0
+    );
 
     // --- How well does the paper's prefetcher do on it? ---
     let mut cfg = SimConfig::for_method("SN4L+Dis+BTB").expect("method");

@@ -11,9 +11,14 @@ use dcfb_sim::{run_config, SimConfig};
 use dcfb_workloads::{workload, workload_names};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "OLTP (DB B)".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "OLTP (DB B)".to_owned());
     let Some(w) = workload(&name) else {
-        eprintln!("unknown workload {name:?}; choose one of {:?}", workload_names());
+        eprintln!(
+            "unknown workload {name:?}; choose one of {:?}",
+            workload_names()
+        );
         std::process::exit(1);
     };
 
@@ -56,9 +61,17 @@ fn main() {
             m,
             r.ipc(),
             r.l1i_mpki(),
-            if baseline_ipc > 0.0 { r.ipc() / baseline_ipc } else { 0.0 },
+            if baseline_ipc > 0.0 {
+                r.ipc() / baseline_ipc
+            } else {
+                0.0
+            },
             r.cmal() * 100.0,
-            if baseline_bw > 0.0 { bw_rate / baseline_bw } else { 0.0 },
+            if baseline_bw > 0.0 {
+                bw_rate / baseline_bw
+            } else {
+                0.0
+            },
             r.storage_bits as f64 / 8.0 / 1024.0,
         );
     }

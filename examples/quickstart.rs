@@ -11,7 +11,11 @@ use dcfb_workloads::workload;
 fn main() {
     // 1. Pick a calibrated synthetic server workload (Table IV).
     let w = workload("Web (Apache)").expect("catalog workload");
-    println!("workload: {} (~{:.0} KiB of code)", w.name, w.params.approx_footprint_kib());
+    println!(
+        "workload: {} (~{:.0} KiB of code)",
+        w.name,
+        w.params.approx_footprint_kib()
+    );
 
     // 2. Configure the paper's full proposal. `for_method` knows every
     //    evaluated configuration by its figure name.
@@ -26,7 +30,11 @@ fn main() {
     let b = &result.baseline;
     println!("\n                      baseline    SN4L+Dis+BTB");
     println!("IPC                   {:8.3}    {:8.3}", b.ipc(), r.ipc());
-    println!("L1i MPKI              {:8.1}    {:8.1}", b.l1i_mpki(), r.l1i_mpki());
+    println!(
+        "L1i MPKI              {:8.1}    {:8.1}",
+        b.l1i_mpki(),
+        r.l1i_mpki()
+    );
     println!(
         "frontend stall frac   {:8.3}    {:8.3}",
         b.frontend_stalls() as f64 / b.cycles as f64,
