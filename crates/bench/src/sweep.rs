@@ -194,12 +194,6 @@ fn sweep_config(method: &str, opts: &SweepOptions) -> Result<SimConfig, DcfbErro
     Ok(cfg)
 }
 
-/// A comparable digest of one report; identical digests mean the runs
-/// produced bit-identical results.
-fn digest(r: &SimReport) -> String {
-    format!("{r:?}")
-}
-
 /// Runs the timed sweep: one sequential pass, one parallel pass at
 /// `opts.jobs`, plus two single-run throughput timings. Both passes
 /// execute the identical `(workload, method)` cross product.
@@ -240,7 +234,7 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
         && seq
             .iter()
             .zip(par.iter())
-            .all(|(a, b)| digest(a) == digest(b));
+            .all(|(a, b)| a.digest() == b.digest());
 
     let single_run_instrs = opts.warmup + opts.measure;
     let single_ips = |method: &str| -> Result<f64, DcfbError> {

@@ -96,6 +96,19 @@ impl PrefetchBuffer {
     pub fn counters(&self) -> (u64, u64, u64, u64) {
         (self.lookups, self.hits, self.inserted, self.replaced_unused)
     }
+
+    /// The resident blocks in LRU-stamp order (oldest first). Exposed
+    /// for conformance checks that compare full buffer state against a
+    /// reference model.
+    pub fn resident_blocks(&self) -> Vec<Block> {
+        let mut stamped: Vec<(u64, Block)> = self
+            .entries
+            .iter()
+            .map(|&(b, stamp, _)| (stamp, b))
+            .collect();
+        stamped.sort_unstable();
+        stamped.into_iter().map(|(_, b)| b).collect()
+    }
 }
 
 #[cfg(test)]

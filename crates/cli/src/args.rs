@@ -28,6 +28,11 @@ COMMANDS:
                          DCFB_MEASURE, DCFB_WORKLOADS and DCFB_JOBS
     record               Write a workload trace to a file
     replay               Simulate an external trace file
+    conformance          Lockstep-check the prefetch structures against
+                         executable reference models over fuzzed op
+                         streams, plus cross-prefetcher invariants;
+                         exits 4 with a shrunk counterexample on the
+                         first divergence
     help                 Show this message
 
 OPTIONS:
@@ -42,6 +47,8 @@ OPTIONS:
     --out <FILE>         Output path for `record` / prefix for `profile`
     --trace <FILE>       Input path for `replay`
     --format <binary|text>  Trace format for `record` (default binary)
+    --ops <N>            Fuzzed ops per structure for `conformance`
+                         (default 10000)
     --lenient            For `replay`: salvage the valid prefix of a
                          damaged trace instead of failing (default is
                          strict: any corruption is an error, exit 3)
@@ -76,6 +83,8 @@ pub struct Cli {
     pub format: String,
     /// `--lenient` for `replay`: salvage damaged traces.
     pub lenient: bool,
+    /// `--ops` for `conformance`: fuzzed ops per structure.
+    pub ops: usize,
 }
 
 impl Cli {
@@ -105,6 +114,7 @@ impl Cli {
             trace: None,
             format: "binary".to_owned(),
             lenient: false,
+            ops: 10_000,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -144,6 +154,14 @@ impl Cli {
                         "variable" => IsaMode::Variable,
                         other => return Err(format!("unknown --isa {other:?}")),
                     };
+                }
+                "--ops" => {
+                    cli.ops = value("--ops")?
+                        .parse()
+                        .map_err(|_| "--ops must be an integer")?;
+                    if cli.ops == 0 {
+                        return Err("--ops must be positive".into());
+                    }
                 }
                 "--json" => cli.json = true,
                 "--lenient" => cli.lenient = true,
@@ -241,6 +259,17 @@ mod tests {
         assert!(parse(&["run", "--isa", "thumb"]).is_err());
         assert!(parse(&["run", "--methods", ""]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_and_validates_ops() {
+        let cli = parse(&["conformance", "--seed", "9", "--ops", "500"]).unwrap();
+        assert_eq!(cli.command, "conformance");
+        assert_eq!(cli.seed, 9);
+        assert_eq!(cli.ops, 500);
+        assert_eq!(parse(&["conformance"]).unwrap().ops, 10_000);
+        assert!(parse(&["conformance", "--ops", "0"]).is_err());
+        assert!(parse(&["conformance", "--ops", "many"]).is_err());
     }
 
     #[test]

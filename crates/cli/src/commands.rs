@@ -451,3 +451,30 @@ pub fn replay(cli: &Cli) -> Result<(), DcfbError> {
     print_report(&r, &base);
     Ok(())
 }
+
+/// `dcfb conformance`
+pub fn conformance(cli: &Cli) -> Result<(), DcfbError> {
+    let report = dcfb_conformance::run_full_suite(cli.seed, cli.ops);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        let first = report
+            .failures()
+            .first()
+            .map(|c| c.name.clone())
+            .unwrap_or_default();
+        Err(DcfbError::Run {
+            workload: "fuzzed op streams".to_owned(),
+            method: "conformance".to_owned(),
+            message: format!(
+                "{} of {} checks failed (first: {first}); \
+                 reproduce with --seed {} --ops {}",
+                report.failures().len(),
+                report.checks.len(),
+                report.seed,
+                report.ops_per_structure
+            ),
+        })
+    }
+}

@@ -10,6 +10,7 @@
 //! dcfb bench-sweep [--out BENCH_sweep.json]
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
+//! dcfb conformance [--seed N] [--ops N]
 //! ```
 //!
 //! Common options: `--warmup N`, `--measure N`, `--seed N`,
@@ -49,6 +50,7 @@ fn main() {
         "bench-sweep" => commands::bench_sweep(&cli),
         "record" => commands::record(&cli),
         "replay" => commands::replay(&cli),
+        "conformance" => commands::conformance(&cli),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

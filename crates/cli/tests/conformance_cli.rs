@@ -1,0 +1,75 @@
+//! End-to-end contract for `dcfb conformance`: a clean run prints the
+//! per-check table and exits 0, the seed is reproducible, and bad
+//! arguments exit 2 with a one-line diagnostic.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::process::{Command, Output};
+
+fn dcfb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dcfb"))
+        .args(args)
+        .output()
+        .expect("spawn dcfb")
+}
+
+#[test]
+fn conformance_passes_and_reports_every_check() {
+    let out = dcfb(&["conformance", "--seed", "42", "--ops", "1500"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "conformance failed:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("seed=42"));
+    assert!(stdout.contains("ops=1500"));
+    for check in [
+        "lockstep/seq-table",
+        "lockstep/dis-table",
+        "lockstep/rlu",
+        "lockstep/btb-buffer",
+        "lockstep/prefetch-buffer",
+        "lockstep/sn4l",
+        "lockstep/dis",
+        "lockstep/proactive",
+        "invariant/sn4l-gating",
+        "invariant/chain-depth",
+        "invariant/timeliness-sums",
+        "invariant/replay-deterministic",
+    ] {
+        assert!(stdout.contains(check), "missing {check}:\n{stdout}");
+    }
+    assert!(stdout.contains("all checks passed"));
+    assert!(!stdout.contains("FAIL"));
+}
+
+#[test]
+fn conformance_same_seed_same_output() {
+    let a = dcfb(&["conformance", "--seed", "7", "--ops", "800"]);
+    let b = dcfb(&["conformance", "--seed", "7", "--ops", "800"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must render identically");
+}
+
+#[test]
+fn bad_ops_is_a_usage_error() {
+    for args in [
+        ["conformance", "--ops", "0"],
+        ["conformance", "--ops", "lots"],
+    ] {
+        let out = dcfb(&args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error:"), "diagnostic first: {stderr}");
+        assert!(!stderr.contains("panicked"), "no backtraces: {stderr}");
+    }
+}
+
+#[test]
+fn conformance_is_in_help() {
+    let out = dcfb(&["help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conformance"));
+    assert!(stdout.contains("--ops"));
+}

@@ -1,0 +1,100 @@
+//! Greedy delta-debugging (ddmin-style) trace minimization.
+//!
+//! Given a failing op sequence and a deterministic predicate, remove
+//! ever-smaller chunks while the failure persists. Every candidate is
+//! replayed from scratch, so the predicate must be a pure function of
+//! the op sequence — which is exactly what the lockstep harnesses
+//! guarantee (fresh model pair per run, no ambient state).
+
+/// Shrinks `ops` to a (locally) minimal sequence still satisfying
+/// `fails`. Assumes `fails(ops)` is `true` on entry; if it is not, the
+/// input is returned unchanged.
+///
+/// The result is 1-minimal: removing any single remaining op makes the
+/// failure disappear.
+pub fn shrink<Op: Clone>(ops: &[Op], fails: &dyn Fn(&[Op]) -> bool) -> Vec<Op> {
+    if !fails(ops) {
+        return ops.to_vec();
+    }
+    let mut cur: Vec<Op> = ops.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if fails(&candidate) {
+                cur = candidate;
+                removed_any = true;
+                // The window now holds new content; retry in place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return cur;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        let ops: Vec<u32> = (0..100).collect();
+        let fails = |s: &[u32]| s.contains(&37);
+        let min = shrink(&ops, &fails);
+        assert_eq!(min, vec![37]);
+    }
+
+    #[test]
+    fn keeps_interacting_pair() {
+        let ops: Vec<u32> = (0..64).collect();
+        let fails = |s: &[u32]| s.contains(&3) && s.contains(&60);
+        let min = shrink(&ops, &fails);
+        assert_eq!(min, vec![3, 60]);
+    }
+
+    #[test]
+    fn order_sensitive_failure_preserved() {
+        let ops = vec![5, 1, 9, 2, 7];
+        // Fails only if 9 appears before 7.
+        let fails = |s: &[u32]| {
+            let i9 = s.iter().position(|&x| x == 9);
+            let i7 = s.iter().position(|&x| x == 7);
+            matches!((i9, i7), (Some(a), Some(b)) if a < b)
+        };
+        let min = shrink(&ops, &fails);
+        assert_eq!(min, vec![9, 7]);
+    }
+
+    #[test]
+    fn non_failing_input_returned_unchanged() {
+        let ops = vec![1, 2, 3];
+        let fails = |_: &[u32]| false;
+        assert_eq!(shrink(&ops, &fails), ops);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let ops: Vec<u32> = (0..40).collect();
+        let fails = |s: &[u32]| s.iter().filter(|&&x| x % 3 == 0).count() >= 4;
+        let min = shrink(&ops, &fails);
+        assert!(fails(&min));
+        for i in 0..min.len() {
+            let mut reduced = min.clone();
+            reduced.remove(i);
+            assert!(!fails(&reduced), "removing index {i} should fix it");
+        }
+    }
+}

@@ -303,6 +303,52 @@ mod tests {
     }
 
     #[test]
+    fn invalid_ways_fill_before_eviction() {
+        // One set, 4 ways: the first `ways` inserts must claim invalid
+        // ways without evicting anything.
+        let mut b = Btb::new(BtbConfig {
+            entries: 4,
+            ways: 4,
+        });
+        for i in 0..4u64 {
+            b.insert(entry(i * 4, 0x100 + i));
+            assert_eq!(b.occupancy(), i as usize + 1);
+        }
+        // The fifth insert evicts exactly the LRU (the oldest insert).
+        b.insert(entry(0x100, 0x999));
+        assert_eq!(b.occupancy(), 4);
+        assert!(!b.contains(0x0));
+        for i in 1..4u64 {
+            assert!(b.contains(i * 4), "entry {i} must survive");
+        }
+        assert!(b.contains(0x100));
+    }
+
+    #[test]
+    fn refresh_on_insert_protects_from_eviction() {
+        let mut b = small(); // 4 sets, 2 ways
+        b.insert(entry(0x0, 0x1));
+        b.insert(entry(0x40, 0x2));
+        // Update-in-place refreshes 0x0's stamp, making 0x40 the LRU.
+        b.insert(entry(0x0, 0x9));
+        b.insert(entry(0x80, 0x3));
+        assert!(b.contains(0x0));
+        assert!(!b.contains(0x40));
+        assert_eq!(b.lookup(0x0).unwrap().target, 0x9);
+    }
+
+    #[test]
+    fn full_tags_prevent_same_set_aliasing() {
+        // The conventional BTB stores full tags: pcs that collide on the
+        // set index must miss, never return another branch's target.
+        let mut b = small(); // 4 sets: 0x0, 0x40, 0x80 share set 0
+        b.insert(entry(0x40, 0x2));
+        assert!(b.lookup(0x0).is_none());
+        assert!(b.lookup(0x80).is_none());
+        assert_eq!(b.lookup(0x40).unwrap().target, 0x2);
+    }
+
+    #[test]
     fn class_round_trips() {
         let mut b = small();
         b.insert(BtbEntry {

@@ -553,6 +553,45 @@ mod tests {
     }
 
     #[test]
+    fn c_btb_eviction_prefers_lru_and_keeps_refreshed() {
+        // C-BTB: 8 entries / 2 ways = 4 sets; pc stride 0x10 keeps the
+        // set index while changing the tag.
+        let mut b = btb();
+        b.insert_c(0x0, 0xc, 0x300);
+        b.insert_c(0x10, 0x1c, 0x301);
+        let _ = b.lookup_c(0x0); // refresh: 0x10 becomes the LRU
+        b.insert_c(0x20, 0x2c, 0x302);
+        assert_eq!(b.lookup_c(0x0), Some((0xc, 0x300)));
+        assert!(b.lookup_c(0x10).is_none());
+        assert_eq!(b.lookup_c(0x20), Some((0x2c, 0x302)));
+    }
+
+    #[test]
+    fn rib_eviction_under_set_pressure() {
+        // RIB: 8 entries / 2 ways = 4 sets; 0x4, 0x14, 0x24 share a set.
+        let mut b = btb();
+        b.insert_r(0x4, 0x8);
+        b.insert_r(0x14, 0x18);
+        b.insert_r(0x24, 0x28); // evicts 0x4 (LRU)
+        assert!(b.lookup_r(0x4).is_none());
+        assert_eq!(b.lookup_r(0x14), Some(0x18));
+        assert_eq!(b.lookup_r(0x24), Some(0x28));
+    }
+
+    #[test]
+    fn full_tags_prevent_same_set_aliasing() {
+        // U-BTB: 16 entries / 2 ways = 8 sets; 0x0 and 0x20 share set 0
+        // but carry different full tags, and the three components are
+        // independent structures.
+        let mut b = btb();
+        b.insert_u(0x0, 0xc, 0x900, BranchClass::Jump);
+        assert!(b.lookup_u(0x20).is_none(), "same set, different tag");
+        assert!(b.lookup_c(0x0).is_none(), "components are independent");
+        assert!(b.lookup_r(0x0).is_none());
+        assert_eq!(b.lookup_u(0x0).unwrap().target, 0x900);
+    }
+
+    #[test]
     fn capacity_pressure_evicts_lru() {
         let mut b = ShotgunBtb::new(ShotgunBtbConfig {
             u_entries: 4,

@@ -306,6 +306,80 @@ impl Tage {
 mod tests {
     use super::*;
 
+    /// A deliberately tiny geometry: 4-bit partial tags make aliasing
+    /// easy to construct deterministically.
+    fn tiny_cfg() -> TageConfig {
+        TageConfig {
+            bimodal_bits: 12,
+            tagged_bits: 4,
+            tag_bits: 4,
+            history_lengths: vec![5],
+            age_period: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn partial_tags_alias_distant_pcs() {
+        let mut t = Tage::new(tiny_cfg());
+        // pc_bits 0x011 and 0x211 agree in the low 4 tag bits and fold
+        // to the same table index, yet are distinct branches. With an
+        // all-false history the folded registers stay zero, so both
+        // stay colliding throughout the test.
+        let (pc_a, pc_b) = (0x011u64 << 2, 0x211u64 << 2);
+        assert_ne!(pc_a, pc_b);
+        assert_eq!(t.table_tag(pc_a, 0), t.table_tag(pc_b, 0));
+        assert_eq!(t.table_index(pc_a, 0), t.table_index(pc_b, 0));
+        // Train A not-taken: the first misprediction allocates a tagged
+        // entry under the shared partial tag.
+        for _ in 0..8 {
+            t.update(pc_a, false);
+        }
+        assert!(!t.predict(pc_a));
+        // B has never been seen, but the 4-bit tag cannot tell it from
+        // A: the aliased provider overrides B's (taken) bimodal default.
+        assert!(!t.predict(pc_b), "partial-tag alias must capture pc_b");
+        // A pc with a different tag nibble is unaffected.
+        let pc_c = 0x012u64 << 2;
+        assert_ne!(t.table_tag(pc_a, 0), t.table_tag(pc_c, 0));
+        assert!(t.predict(pc_c));
+    }
+
+    #[test]
+    fn allocation_prefers_not_useful_entries() {
+        let mut t = Tage::new(tiny_cfg());
+        let pc = 0x011u64 << 2;
+        let idx = t.table_index(pc, 0);
+        let tag = t.table_tag(pc, 0);
+        // The only candidate slot is held by a maximally useful entry
+        // belonging to some other branch.
+        t.tables[0][idx] = TageEntry {
+            tag: 0xf,
+            ctr: 3,
+            useful: 3,
+        };
+        t.update(pc, false); // mispredict: no victim available
+        assert_eq!(t.tables[0][idx].tag, 0xf, "useful entry survives");
+        assert_eq!(t.tables[0][idx].useful, 2, "and is decayed instead");
+        // Once the usefulness drains, the next mispredict claims it.
+        t.tables[0][idx].useful = 0;
+        t.update(pc, true); // bimodal now says not-taken: mispredict
+        assert_eq!(t.tables[0][idx].tag, tag);
+        assert_eq!(t.tables[0][idx].ctr, 0, "fresh entry starts weak");
+    }
+
+    #[test]
+    fn useful_counters_age_with_allocations() {
+        let mut t = Tage::new(TageConfig {
+            age_period: 2,
+            ..tiny_cfg()
+        });
+        t.tables[0][7].useful = 3; // an unrelated mature entry
+        t.update(0x011u64 << 2, false); // allocation #1: no aging yet
+        assert_eq!(t.tables[0][7].useful, 3);
+        t.update(0x012u64 << 2, false); // allocation #2 crosses period
+        assert_eq!(t.tables[0][7].useful, 1, "aging halves usefulness");
+    }
+
     #[test]
     fn learns_a_biased_branch() {
         let mut t = Tage::default_sized();

@@ -158,6 +158,19 @@ impl Sn4lDisBtb {
         self.rlu.counters()
     }
 
+    /// Current `(SeqQueue, DisQueue, RLUQueue)` occupancies. Exposed so
+    /// the conformance lockstep driver can compare queue state against
+    /// the reference model after every event.
+    pub fn queue_lens(&self) -> (usize, usize, usize) {
+        (self.seq_q.len(), self.dis_q.len(), self.rlu_q.len())
+    }
+
+    /// Counters of the embedded Dis engine
+    /// (`(issued, recorded, decode_mismatches, unresolved_indirects)`).
+    pub fn dis_counters(&self) -> (u64, u64, u64, u64) {
+        self.dis.counters()
+    }
+
     /// Read access to the SeqTable (analysis binaries).
     pub fn seq_table(&self) -> &SeqTable {
         &self.seq

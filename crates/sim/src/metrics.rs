@@ -187,6 +187,13 @@ impl SimReport {
         }
     }
 
+    /// A comparable digest of the whole report; identical digests mean
+    /// two runs produced bit-identical results. Used by the replay
+    /// determinism checks (bench sweep, conformance invariants).
+    pub fn digest(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// L1i misses per kilo-instruction.
     pub fn l1i_mpki(&self) -> f64 {
         if self.instrs == 0 {

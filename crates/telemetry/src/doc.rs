@@ -57,6 +57,15 @@ pub struct TimelinessRow {
     pub useless: u64,
 }
 
+impl TimelinessRow {
+    /// Sum of the four timeliness classes. A well-formed row has
+    /// `classified() == issued` — every issued prefetch lands in
+    /// exactly one class.
+    pub fn classified(&self) -> u64 {
+        self.accurate + self.late + self.early_evicted + self.useless
+    }
+}
+
 /// One run's exported metrics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsDoc {
@@ -234,7 +243,7 @@ impl MetricsDoc {
             return Err("duplicate counter names".to_owned());
         }
         for t in &self.timeliness {
-            let classified = t.accurate + t.late + t.early_evicted + t.useless;
+            let classified = t.classified();
             if classified != t.issued {
                 return Err(format!(
                     "timeliness row {:?}: accurate {} + late {} + early_evicted {} + useless {} = {} != issued {}",
