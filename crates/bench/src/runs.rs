@@ -115,24 +115,7 @@ pub fn try_method_config(name: &str) -> Result<SimConfig, DcfbError> {
         .map(scaled)
         .ok_or_else(|| DcfbError::UnknownMethod {
             name: name.to_owned(),
-            available: [
-                "Baseline",
-                "NL",
-                "N2L",
-                "N4L",
-                "N8L",
-                "SN4L",
-                "Dis",
-                "SN4L+Dis",
-                "SN4L+Dis+BTB",
-                "Discontinuity",
-                "Confluence",
-                "Boomerang",
-                "Shotgun",
-            ]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect(),
+            available: dcfb_prefetch::method_names().map(str::to_owned).collect(),
         })
 }
 

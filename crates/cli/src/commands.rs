@@ -15,27 +15,11 @@ use dcfb_trace::{CodeMemory, InstrStream, IsaMode, ReadMode, RecordedCode, VecTr
 use dcfb_workloads::{all_workloads, Walker};
 use std::sync::Arc;
 
-const METHODS: [&str; 13] = [
-    "Baseline",
-    "NL",
-    "N2L",
-    "N4L",
-    "N8L",
-    "Discontinuity",
-    "SN4L",
-    "Dis",
-    "SN4L+Dis",
-    "SN4L+Dis+BTB",
-    "Boomerang",
-    "Shotgun",
-    "Confluence",
-];
-
 fn config_for(cli: &Cli, method: &str) -> Result<SimConfig, DcfbError> {
     let Some(mut cfg) = SimConfig::for_method(method) else {
         return Err(DcfbError::UnknownMethod {
             name: method.to_owned(),
-            available: METHODS.iter().map(|s| (*s).to_owned()).collect(),
+            available: dcfb_prefetch::method_names().map(str::to_owned).collect(),
         });
     };
     cfg.warmup_instrs = cli.warmup;
@@ -60,8 +44,8 @@ pub fn list() {
             w.params.functions
         );
     }
-    println!("\nmethods (§VI-D):");
-    for m in METHODS {
+    println!("\nmethods (§VI-D, from the method registry):");
+    for m in dcfb_prefetch::method_names() {
         println!("  {m}");
     }
 }

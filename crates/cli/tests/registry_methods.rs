@@ -1,0 +1,59 @@
+//! End-to-end contract for the method registry: `dcfb list` names the
+//! registry methods, and a config-only composition (one registry row,
+//! no new driver code) runs through `dcfb run` like any built-in
+//! method.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::process::{Command, Output};
+
+const WORKLOAD: &str = "Web (Apache)";
+
+fn dcfb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dcfb"))
+        .args(args)
+        .output()
+        .expect("spawn dcfb")
+}
+
+#[test]
+fn list_shows_registry_methods() {
+    let out = dcfb(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for m in ["Baseline", "SN4L+Dis+BTB", "Shotgun", "N2L+Dis"] {
+        assert!(stdout.contains(m), "`dcfb list` missing {m}: {stdout}");
+    }
+}
+
+#[test]
+fn composition_runs_end_to_end() {
+    let out = dcfb(&[
+        "run",
+        "--workload",
+        WORKLOAD,
+        "--method",
+        "N2L+Dis",
+        "--warmup",
+        "2000",
+        "--measure",
+        "8000",
+        "--json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"method\": \"N2L+Dis\""), "{stdout}");
+    assert!(stdout.contains("\"instructions\": 8000"), "{stdout}");
+}
+
+#[test]
+fn unknown_method_lists_registry_in_the_error() {
+    let out = dcfb(&["run", "--workload", WORKLOAD, "--method", "nope"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("N2L+Dis"),
+        "registry compositions missing from the error: {stderr}"
+    );
+}

@@ -15,7 +15,9 @@
 //! discontinuity storms) deterministically from a seed, and
 //! [`invariants`] checks the cross-cutting properties the paper states
 //! outright (SeqTable gating, the depth-4 chain cutoff, timeliness
-//! accounting, replay determinism).
+//! accounting, replay determinism), and [`golden`] replays one
+//! fixed-seed trace through every method in the prefetch registry and
+//! pins the report digests bit-for-bit against checked-in goldens.
 //!
 //! [`run_full_suite`] packages all of it behind one call; the
 //! `dcfb conformance` CLI subcommand is a thin wrapper around it.
@@ -25,6 +27,7 @@
 
 pub mod adapters;
 pub mod fuzz;
+pub mod golden;
 pub mod invariants;
 pub mod lockstep;
 pub mod ops;
@@ -243,6 +246,11 @@ pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
         "replay-deterministic",
         invariants::check_replay_deterministic(seed, n_ops.min(2_000)),
     ));
+    // ---- whole-simulator digest parity vs checked-in goldens ----
+    checks.push(invariant_result(
+        "digest-parity",
+        golden::check_digest_parity(),
+    ));
 
     ConformanceReport {
         seed,
@@ -261,8 +269,9 @@ mod tests {
         let report = run_full_suite(5, 300);
         let rendered = report.render();
         assert!(report.passed(), "conformance suite failed:\n{rendered}");
-        assert_eq!(report.checks.len(), 12);
+        assert_eq!(report.checks.len(), 13);
         assert!(rendered.contains("lockstep/proactive"));
+        assert!(rendered.contains("invariant/digest-parity"));
         assert!(rendered.contains("all checks passed"));
     }
 }

@@ -25,8 +25,8 @@ fn full_suite_runs_clean_at_10k_ops() {
         report.render()
     );
     assert_eq!(report.ops_per_structure, OPS);
-    // 8 lockstep harnesses + 4 invariants.
-    assert_eq!(report.checks.len(), 12);
+    // 8 lockstep harnesses + 4 invariants + digest parity.
+    assert_eq!(report.checks.len(), 13);
 }
 
 #[test]

@@ -57,24 +57,30 @@
 
 pub mod boomerang;
 pub mod btb_pf;
+pub mod composite;
 pub mod confluence;
 pub mod context;
 pub mod dis;
 pub mod discontinuity;
 pub mod nextline;
 pub mod proactive;
+pub mod registry;
 pub mod shotgun;
 pub mod sn4l;
 pub mod tables;
 
 pub use boomerang::Boomerang;
 pub use btb_pf::BtbPrefetchBuffer;
+pub use composite::Composite;
 pub use confluence::{Confluence, ConfluenceConfig};
 pub use context::{InstrPrefetcher, PrefetchContext, RecentInstrs, RunaheadContext};
 pub use dis::Dis;
 pub use discontinuity::DiscontinuityPrefetcher;
 pub use nextline::NextLine;
 pub use proactive::{Sn4lDisBtb, Sn4lDisConfig};
+pub use registry::{
+    find_method, method_names, registry, DiscoveryEngine, DriverPlan, MethodRow, PrefetcherKind,
+};
 pub use shotgun::Shotgun;
 pub use sn4l::Sn4l;
 pub use tables::{DisTable, Rlu, SeqTable, TagPolicy};

@@ -216,6 +216,7 @@ pub fn bf_per_set_coverage<S: InstrStream>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use dcfb_trace::IsaMode;

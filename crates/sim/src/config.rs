@@ -1,73 +1,19 @@
 //! Simulation configuration (Table III defaults).
+//!
+//! Method names resolve through the `dcfb-prefetch` method registry
+//! ([`dcfb_prefetch::registry`]): one row per evaluated method carrying
+//! its display name, its [`PrefetcherKind`], and any machine overrides
+//! (e.g. Confluence's 16 K-entry BTB). [`SimConfig::for_method`] is the
+//! single entry point; adding a method — including a config-only
+//! composition of existing prefetchers — means adding one registry row.
 
 use dcfb_cache::CacheConfig;
 use dcfb_errors::DcfbError;
-use dcfb_frontend::{BtbConfig, ShotgunBtbConfig};
-use dcfb_prefetch::{ConfluenceConfig, Sn4lDisConfig, TagPolicy};
+use dcfb_frontend::BtbConfig;
 use dcfb_trace::IsaMode;
 use dcfb_uncore::UncoreConfig;
 
-/// Which prefetcher drives the frontend.
-#[derive(Clone, Debug)]
-pub enum PrefetcherKind {
-    /// No instruction/BTB prefetcher (the speedup baseline).
-    None,
-    /// Next-X-line sequential prefetcher.
-    NextLine(u32),
-    /// SN4L alone (Fig. 17's second bar).
-    Sn4l {
-        /// SeqTable entries (16 K in the paper; swept in Fig. 11).
-        seq_entries: usize,
-    },
-    /// The standalone Dis prefetcher (Fig. 13).
-    Dis {
-        /// DisTable entries.
-        dis_entries: usize,
-        /// DisTable tagging policy.
-        tag: TagPolicy,
-    },
-    /// The combined proactive engine; `btb` selects SN4L+Dis vs
-    /// SN4L+Dis+BTB.
-    Sn4lDis(Sn4lDisConfig),
-    /// The conventional discontinuity prefetcher baseline.
-    Discontinuity,
-    /// Confluence = SHIFT + a 16 K-entry BTB (set `btb` accordingly!).
-    Confluence(ConfluenceConfig),
-    /// Boomerang (BTB-directed driver).
-    Boomerang {
-        /// BB-BTB entries.
-        btb_entries: usize,
-    },
-    /// Shotgun (BTB-directed driver with the split BTB).
-    Shotgun(ShotgunBtbConfig),
-}
-
-impl PrefetcherKind {
-    /// Display name matching the paper's figures.
-    pub fn name(&self) -> String {
-        match self {
-            PrefetcherKind::None => "Baseline".to_owned(),
-            PrefetcherKind::NextLine(1) => "NL".to_owned(),
-            PrefetcherKind::NextLine(d) => format!("N{d}L"),
-            PrefetcherKind::Sn4l { .. } => "SN4L".to_owned(),
-            PrefetcherKind::Dis { .. } => "Dis".to_owned(),
-            PrefetcherKind::Sn4lDis(c) if c.btb_prefetch => "SN4L+Dis+BTB".to_owned(),
-            PrefetcherKind::Sn4lDis(_) => "SN4L+Dis".to_owned(),
-            PrefetcherKind::Discontinuity => "Discontinuity".to_owned(),
-            PrefetcherKind::Confluence(_) => "Confluence".to_owned(),
-            PrefetcherKind::Boomerang { .. } => "Boomerang".to_owned(),
-            PrefetcherKind::Shotgun(_) => "Shotgun".to_owned(),
-        }
-    }
-
-    /// Whether this prefetcher drives the FTQ (BTB-directed frontend).
-    pub fn is_btb_directed(&self) -> bool {
-        matches!(
-            self,
-            PrefetcherKind::Boomerang { .. } | PrefetcherKind::Shotgun(_)
-        )
-    }
-}
+pub use dcfb_prefetch::PrefetcherKind;
 
 /// Full machine + experiment configuration.
 #[derive(Clone, Debug)]
@@ -149,44 +95,33 @@ impl SimConfig {
         SimConfig::default()
     }
 
-    /// A named standard configuration for each evaluated method
-    /// (§VI-D): `"NL"`, `"N2L"`, `"N4L"`, `"N8L"`, `"SN4L"`, `"Dis"`,
-    /// `"SN4L+Dis"`, `"SN4L+Dis+BTB"`, `"Discontinuity"`,
-    /// `"Confluence"`, `"Boomerang"`, `"Shotgun"`, `"Baseline"`.
+    /// The standard configuration for a named method, resolved through
+    /// the method registry (§VI-D): `"Baseline"`, `"NL"`/`"N2L"`/
+    /// `"N4L"`/`"N8L"`, `"SN4L"`, `"Dis"`, `"SN4L+Dis"`,
+    /// `"SN4L+Dis+BTB"`, `"Discontinuity"`, `"Confluence"`,
+    /// `"Boomerang"`, `"Shotgun"`, plus registry compositions such as
+    /// `"N2L+Dis"`. [`dcfb_prefetch::method_names`] lists them all.
     ///
     /// Returns `None` for unknown names.
     pub fn for_method(name: &str) -> Option<Self> {
-        let mut cfg = SimConfig::default();
-        cfg.prefetcher = match name {
-            "Baseline" => PrefetcherKind::None,
-            "NL" => PrefetcherKind::NextLine(1),
-            "N2L" => PrefetcherKind::NextLine(2),
-            "N4L" => PrefetcherKind::NextLine(4),
-            "N8L" => PrefetcherKind::NextLine(8),
-            "SN4L" => PrefetcherKind::Sn4l {
-                seq_entries: 16 * 1024,
-            },
-            "Dis" => PrefetcherKind::Dis {
-                dis_entries: 4 * 1024,
-                tag: TagPolicy::Partial(4),
-            },
-            "SN4L+Dis" => PrefetcherKind::Sn4lDis(Sn4lDisConfig::without_btb()),
-            "SN4L+Dis+BTB" => PrefetcherKind::Sn4lDis(Sn4lDisConfig::default()),
-            "Discontinuity" => PrefetcherKind::Discontinuity,
-            "Confluence" => {
-                cfg.btb = BtbConfig::confluence_16k();
-                PrefetcherKind::Confluence(ConfluenceConfig::default())
-            }
-            "Boomerang" => PrefetcherKind::Boomerang { btb_entries: 2048 },
-            "Shotgun" => PrefetcherKind::Shotgun(ShotgunBtbConfig::default()),
-            _ => return None,
+        let row = dcfb_prefetch::find_method(name)?;
+        let mut cfg = SimConfig {
+            prefetcher: row.kind(),
+            ..SimConfig::default()
         };
+        if let Some(btb) = row.btb_override() {
+            cfg.btb = btb;
+        }
         Some(cfg)
     }
 
-    /// The list of methods Fig. 16 compares.
-    pub fn fig16_methods() -> [&'static str; 4] {
-        ["Shotgun", "Confluence", "SN4L+Dis+BTB", "Baseline"]
+    /// The methods Fig. 16 compares, in registry order.
+    pub fn fig16_methods() -> Vec<&'static str> {
+        dcfb_prefetch::registry()
+            .iter()
+            .filter(|row| row.fig16)
+            .map(|row| row.name)
+            .collect()
     }
 
     /// Checks the configuration for values the simulator cannot run
@@ -213,12 +148,85 @@ impl SimConfig {
         }
         fn set_assoc(what: &str, entries: usize, ways: usize) -> Result<(), DcfbError> {
             nonzero(&format!("{what} ways"), ways as u64)?;
-            if entries == 0 || entries % ways != 0 {
+            if entries == 0 || !entries.is_multiple_of(ways) {
                 return Err(DcfbError::Config(format!(
                     "{what} entries ({entries}) must be a nonzero multiple of ways ({ways})"
                 )));
             }
             pow2(&format!("{what} sets"), entries / ways)
+        }
+        fn check_prefetcher(p: &PrefetcherKind) -> Result<(), DcfbError> {
+            match p {
+                PrefetcherKind::None | PrefetcherKind::Discontinuity => Ok(()),
+                PrefetcherKind::NextLine(d) => {
+                    if !(1..=MAX_PREFETCH_DEGREE).contains(&(*d as usize)) {
+                        return Err(DcfbError::Config(format!(
+                            "next-line degree must be 1..={MAX_PREFETCH_DEGREE} (got {d})"
+                        )));
+                    }
+                    Ok(())
+                }
+                PrefetcherKind::Sn4l { seq_entries } => pow2("SeqTable entries", *seq_entries),
+                PrefetcherKind::Dis { dis_entries, .. } => pow2("DisTable entries", *dis_entries),
+                PrefetcherKind::Sn4lDis(c) => {
+                    pow2("SeqTable entries", c.seq_entries)?;
+                    pow2("DisTable entries", c.dis_entries)?;
+                    nonzero("RLU entries", c.rlu_entries as u64)?;
+                    nonzero("queue_capacity", c.queue_capacity as u64)?;
+                    nonzero("max_depth", u64::from(c.max_depth))
+                }
+                PrefetcherKind::Confluence(c) => {
+                    nonzero("SHIFT history entries", c.history_entries as u64)?;
+                    if !(1..=MAX_PREFETCH_DEGREE).contains(&c.degree) {
+                        return Err(DcfbError::Config(format!(
+                            "Confluence degree must be 1..={MAX_PREFETCH_DEGREE} (got {})",
+                            c.degree
+                        )));
+                    }
+                    nonzero("Confluence lookahead", c.lookahead as u64)
+                }
+                PrefetcherKind::Boomerang { btb_entries } => pow2("BB-BTB entries", *btb_entries),
+                PrefetcherKind::Shotgun(sc) => {
+                    // The split BTB indexes by modulo, so sets need not be
+                    // powers of two — only nonzero and way-divisible.
+                    nonzero("shotgun ways", sc.ways as u64)?;
+                    for (what, entries) in [
+                        ("U-BTB", sc.u_entries),
+                        ("C-BTB", sc.c_entries),
+                        ("RIB", sc.r_entries),
+                    ] {
+                        if entries == 0 || entries % sc.ways != 0 {
+                            return Err(DcfbError::Config(format!(
+                                "{what} entries ({entries}) must be a nonzero multiple of ways ({})",
+                                sc.ways
+                            )));
+                        }
+                    }
+                    Ok(())
+                }
+                PrefetcherKind::Composed { label, parts } => {
+                    if parts.is_empty() {
+                        return Err(DcfbError::Config(format!(
+                            "composition {label} has no parts"
+                        )));
+                    }
+                    for part in parts {
+                        if matches!(part, PrefetcherKind::Composed { .. }) {
+                            return Err(DcfbError::Config(format!(
+                                "composition {label} nests another composition"
+                            )));
+                        }
+                        if part.is_btb_directed() {
+                            return Err(DcfbError::Config(format!(
+                                "composition {label} includes BTB-directed engine {}",
+                                part.name()
+                            )));
+                        }
+                        check_prefetcher(part)?;
+                    }
+                    Ok(())
+                }
+            }
         }
 
         nonzero("fetch_width", u64::from(self.fetch_width))?;
@@ -236,55 +244,7 @@ impl SimConfig {
         }
         nonzero("warmup_instrs", self.warmup_instrs)?;
         nonzero("measure_instrs", self.measure_instrs)?;
-
-        match &self.prefetcher {
-            PrefetcherKind::None | PrefetcherKind::Discontinuity => {}
-            PrefetcherKind::NextLine(d) => {
-                if !(1..=MAX_PREFETCH_DEGREE).contains(&(*d as usize)) {
-                    return Err(DcfbError::Config(format!(
-                        "next-line degree must be 1..={MAX_PREFETCH_DEGREE} (got {d})"
-                    )));
-                }
-            }
-            PrefetcherKind::Sn4l { seq_entries } => pow2("SeqTable entries", *seq_entries)?,
-            PrefetcherKind::Dis { dis_entries, .. } => pow2("DisTable entries", *dis_entries)?,
-            PrefetcherKind::Sn4lDis(c) => {
-                pow2("SeqTable entries", c.seq_entries)?;
-                pow2("DisTable entries", c.dis_entries)?;
-                nonzero("RLU entries", c.rlu_entries as u64)?;
-                nonzero("queue_capacity", c.queue_capacity as u64)?;
-                nonzero("max_depth", u64::from(c.max_depth))?;
-            }
-            PrefetcherKind::Confluence(c) => {
-                nonzero("SHIFT history entries", c.history_entries as u64)?;
-                if !(1..=MAX_PREFETCH_DEGREE).contains(&c.degree) {
-                    return Err(DcfbError::Config(format!(
-                        "Confluence degree must be 1..={MAX_PREFETCH_DEGREE} (got {})",
-                        c.degree
-                    )));
-                }
-                nonzero("Confluence lookahead", c.lookahead as u64)?;
-            }
-            PrefetcherKind::Boomerang { btb_entries } => pow2("BB-BTB entries", *btb_entries)?,
-            PrefetcherKind::Shotgun(sc) => {
-                // The split BTB indexes by modulo, so sets need not be
-                // powers of two — only nonzero and way-divisible.
-                nonzero("shotgun ways", sc.ways as u64)?;
-                for (what, entries) in [
-                    ("U-BTB", sc.u_entries),
-                    ("C-BTB", sc.c_entries),
-                    ("RIB", sc.r_entries),
-                ] {
-                    if entries == 0 || entries % sc.ways != 0 {
-                        return Err(DcfbError::Config(format!(
-                            "{what} entries ({entries}) must be a nonzero multiple of ways ({})",
-                            sc.ways
-                        )));
-                    }
-                }
-            }
-        }
-        Ok(())
+        check_prefetcher(&self.prefetcher)
     }
 }
 
@@ -293,6 +253,7 @@ impl SimConfig {
 pub const MAX_PREFETCH_DEGREE: usize = 64;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -331,31 +292,29 @@ mod tests {
     }
 
     #[test]
-    fn confluence_gets_the_16k_btb() {
-        let cfg = SimConfig::for_method("Confluence").unwrap();
-        assert_eq!(cfg.btb.entries, 16 * 1024);
+    fn every_registry_method_round_trips_and_validates() {
+        // The satellite invariant: registry name -> config -> display
+        // label -> same name, and every row is runnable.
+        for m in dcfb_prefetch::method_names() {
+            let cfg = SimConfig::for_method(m).unwrap_or_else(|| panic!("{m} missing"));
+            assert_eq!(cfg.prefetcher.name(), m, "round trip broke for {m}");
+            cfg.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
     }
 
     #[test]
-    fn every_standard_method_validates() {
-        for m in [
-            "Baseline",
-            "NL",
-            "N8L",
-            "SN4L",
-            "Dis",
-            "SN4L+Dis",
-            "SN4L+Dis+BTB",
-            "Discontinuity",
-            "Confluence",
-            "Boomerang",
-            "Shotgun",
-        ] {
-            SimConfig::for_method(m)
-                .unwrap()
-                .validate()
-                .unwrap_or_else(|e| panic!("{m}: {e}"));
+    fn fig16_methods_come_from_the_registry() {
+        let methods = SimConfig::fig16_methods();
+        for m in ["Baseline", "SN4L+Dis+BTB", "Confluence", "Shotgun"] {
+            assert!(methods.contains(&m), "{m} missing from fig16 set");
         }
+        assert_eq!(methods.len(), 4);
+    }
+
+    #[test]
+    fn confluence_gets_the_16k_btb() {
+        let cfg = SimConfig::for_method("Confluence").unwrap();
+        assert_eq!(cfg.btb.entries, 16 * 1024);
     }
 
     #[test]
@@ -400,6 +359,34 @@ mod tests {
         cfg.prefetcher = PrefetcherKind::NextLine(MAX_PREFETCH_DEGREE as u32 + 1);
         assert!(cfg.validate().is_err());
         cfg.prefetcher = PrefetcherKind::NextLine(MAX_PREFETCH_DEGREE as u32);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_checks_composition_parts() {
+        let mut cfg = SimConfig::default();
+        cfg.prefetcher = PrefetcherKind::Composed {
+            label: "bad",
+            parts: vec![PrefetcherKind::NextLine(0)],
+        };
+        assert!(cfg.validate().is_err(), "part checks must recurse");
+
+        cfg.prefetcher = PrefetcherKind::Composed {
+            label: "bad",
+            parts: vec![],
+        };
+        assert!(cfg.validate().is_err(), "empty composition");
+
+        cfg.prefetcher = PrefetcherKind::Composed {
+            label: "bad",
+            parts: vec![PrefetcherKind::Boomerang { btb_entries: 2048 }],
+        };
+        assert!(cfg.validate().is_err(), "directed engines cannot compose");
+
+        cfg.prefetcher = PrefetcherKind::Composed {
+            label: "ok",
+            parts: vec![PrefetcherKind::NextLine(2), PrefetcherKind::Discontinuity],
+        };
         assert!(cfg.validate().is_ok());
     }
 

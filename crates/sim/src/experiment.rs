@@ -2,7 +2,7 @@
 //! and compare to the no-prefetcher baseline.
 
 use crate::config::SimConfig;
-use crate::engine::Simulator;
+use crate::machine::Simulator;
 use crate::metrics::SimReport;
 use dcfb_telemetry::TelemetryReport;
 use dcfb_workloads::{Walker, Workload};
@@ -76,6 +76,9 @@ pub fn run_config_profiled(
     let mut sim = Simulator::new(cfg, Arc::clone(&image));
     let mut walker = Walker::new(image, trace_seed);
     let report = sim.run(&mut walker);
+    // Infallible: `cfg.telemetry` was forced on above and this is the
+    // first (only) take.
+    #[allow(clippy::expect_used)]
     let telemetry = sim.take_telemetry().expect("telemetry was enabled above");
     (report, telemetry)
 }
@@ -167,6 +170,7 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use dcfb_workloads::WorkloadParams;

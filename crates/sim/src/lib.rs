@@ -13,13 +13,17 @@
 //! effects appear as redirect penalties plus bounded wrong-path fetch
 //! traffic.
 //!
-//! Two frontend drivers share the machine:
+//! Two frontend drivers share the machine (see [`machine`]):
 //!
-//! * [`engine`] — the conventional decoupled frontend used by the
-//!   baseline, the sequential/discontinuity prefetchers, SN4L+Dis+BTB,
-//!   and Confluence;
-//! * the BTB-directed driver (also in [`engine`]) that runs Boomerang or
-//!   Shotgun ahead of fetch through the FTQ.
+//! * the conventional decoupled frontend used by the baseline, the
+//!   sequential/discontinuity prefetchers, SN4L+Dis+BTB, Confluence,
+//!   and registry compositions of them;
+//! * the BTB-directed driver that runs Boomerang or Shotgun ahead of
+//!   fetch through the FTQ.
+//!
+//! Both implement the `machine::FrontendDriver` trait, so the per-cycle
+//! loop is written once; methods are constructed through the
+//! `dcfb-prefetch` method registry.
 //!
 //! [`analysis`] hosts the timing-free trace analyses behind Figs. 2 and
 //! 6–9; [`experiment`] packages warmup + measurement + baselines for
@@ -57,14 +61,14 @@
 
 pub mod analysis;
 pub mod config;
-pub mod engine;
 pub mod experiment;
+pub mod machine;
 pub mod metrics;
 
 pub use config::{PrefetcherKind, SimConfig};
-pub use engine::Simulator;
 pub use experiment::{
     geomean, run_config, run_config_profiled, run_multi_seed, run_workload, ExperimentResult,
     Measurement,
 };
+pub use machine::Simulator;
 pub use metrics::{SimReport, StallKind};

@@ -1,0 +1,88 @@
+//! The [`Machine`]'s implementations of the prefetcher-facing context
+//! traits: [`PrefetchContext`] for the L1i-event-driven prefetchers and
+//! [`RunaheadContext`] for the BTB-directed discovery engines.
+
+use super::Machine;
+use dcfb_frontend::BtbEntry;
+use dcfb_prefetch::{PrefetchContext, RunaheadContext};
+use dcfb_telemetry::PfSource;
+use dcfb_trace::{Addr, Block};
+use std::sync::Arc;
+
+impl PrefetchContext for Machine {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        self.l1i.probe(block)
+            || self.mshr.contains(block)
+            || self.pf_buffer.as_ref().is_some_and(|b| b.contains(block))
+    }
+
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
+        self.request_below(block, source, extra_delay);
+    }
+
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
+        self.predecode_block(block)
+    }
+
+    fn decode_branch_at(&mut self, block: Block, byte_offset: u32) -> Option<BtbEntry> {
+        let code = Arc::clone(&self.code);
+        let entry = self.predecoder.decode_at(&code, block, byte_offset)?;
+        Some(entry)
+    }
+
+    fn btb_target(&mut self, pc: Addr) -> Option<Addr> {
+        if self.btb.contains(pc) {
+            self.btb.lookup(pc).map(|e| e.target)
+        } else {
+            None
+        }
+    }
+
+    fn fill_btb_buffer(&mut self, block: Block, branches: Arc<[BtbEntry]>) {
+        if branches.is_empty() {
+            return; // the buffer ignores empty sets; don't count a fill
+        }
+        let displaced = self.btb_buffer.fill(block, branches);
+        if let Some(t) = self.telem.as_deref_mut() {
+            t.btbpf_fill(block, displaced);
+        }
+    }
+}
+
+impl RunaheadContext for Machine {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn predict_cond(&mut self, pc: Addr) -> bool {
+        self.tage.predict(pc)
+    }
+
+    fn ras_push(&mut self, ret: Addr) {
+        self.ras.push(ret);
+    }
+
+    fn ras_pop(&mut self) -> Option<Addr> {
+        self.ras.pop()
+    }
+
+    fn l1i_lookup(&mut self, block: Block) -> bool {
+        PrefetchContext::l1i_lookup(self, block)
+    }
+
+    fn issue_prefetch(&mut self, block: Block, source: PfSource, extra_delay: u64) {
+        PrefetchContext::issue_prefetch(self, block, source, extra_delay);
+    }
+
+    fn block_present(&self, block: Block) -> bool {
+        self.l1i.contains(block)
+    }
+
+    fn predecode(&mut self, block: Block) -> Arc<[BtbEntry]> {
+        self.predecode_block(block)
+    }
+}

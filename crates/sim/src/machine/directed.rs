@@ -1,0 +1,233 @@
+//! The BTB-directed frontend driver: a discovery engine (Boomerang or
+//! Shotgun) runs ahead of fetch filling the FTQ; fetch consumes FTQ
+//! regions and verifies them against the trace. FTQ starvation is the
+//! §III pathology — when discovery cannot recover on its own, the core
+//! falls back to fetching directly, one block at a time, until the
+//! blocking branch resolves.
+
+use super::driver::{Consumed, FrontendDriver, Gate, StallCause};
+use super::memory::DemandOutcome;
+use super::Machine;
+use crate::config::SimConfig;
+use crate::metrics::SimReport;
+use dcfb_frontend::{Ftq, FtqEntry};
+use dcfb_prefetch::DiscoveryEngine;
+use dcfb_telemetry::Ctr;
+use dcfb_trace::{Addr, Block, Instr, InstrKind};
+
+/// The BTB-directed frontend (Boomerang, Shotgun).
+pub(crate) struct DirectedDriver {
+    engine: Box<dyn DiscoveryEngine>,
+    ftq: Ftq,
+    /// Current FTQ region being fetched.
+    region: Option<FtqEntry>,
+    /// Consecutive empty-FTQ cycles (drives the core-side recovery
+    /// redirect when the discovery engine cannot make progress).
+    empty_streak: u64,
+    /// Architectural return-address stack: used to repair the
+    /// speculative RAS after a squash.
+    arch_ras: Vec<Addr>,
+    /// Direct-fetch fallback engaged for the rest of this cycle (the
+    /// discovery engine is wedged; reset every `begin_cycle`).
+    fallback: bool,
+}
+
+impl DirectedDriver {
+    pub(crate) fn new(engine: Box<dyn DiscoveryEngine>, ftq: Ftq) -> Self {
+        DirectedDriver {
+            engine,
+            ftq,
+            region: None,
+            empty_streak: 0,
+            arch_ras: Vec::with_capacity(32),
+            fallback: false,
+        }
+    }
+
+    /// Squashes discovery: restart at `pc` and repair the speculative
+    /// RAS from architectural state.
+    fn redirect(&mut self, m: &mut Machine, pc: Addr) {
+        self.region = None;
+        self.engine.redirect(pc, &mut self.ftq);
+        m.ras.clear();
+        for &ret in &self.arch_ras {
+            m.ras.push(ret);
+        }
+    }
+
+    /// Tracks calls/returns on the architectural RAS (capacity 32,
+    /// oldest entry dropped on overflow).
+    fn arch_ras_note(&mut self, instr: &Instr) -> Option<Addr> {
+        if instr.kind.is_call() {
+            if self.arch_ras.len() == 32 {
+                self.arch_ras.remove(0);
+            }
+            self.arch_ras.push(instr.fallthrough());
+            None
+        } else if matches!(instr.kind, InstrKind::Return) {
+            self.arch_ras.pop()
+        } else {
+            None
+        }
+    }
+}
+
+impl FrontendDriver for DirectedDriver {
+    fn begin_cycle(&mut self, m: &mut Machine) {
+        self.fallback = false;
+        m.drain_fills(None);
+        // Discovery runs every cycle.
+        self.engine.advance(m, &mut self.ftq);
+    }
+
+    fn gate(&mut self, m: &mut Machine, cfg: &SimConfig, instr: &Instr, dispatched: u32) -> Gate {
+        if self.fallback || self.region.is_some() {
+            return Gate::Proceed;
+        }
+        match self.ftq.pop() {
+            Some(r) => {
+                self.empty_streak = 0;
+                if r.start != instr.pc {
+                    // The discovery engine went down the wrong path:
+                    // redirect it to reality.
+                    self.redirect(m, instr.pc);
+                    return Gate::Stall {
+                        until: m.cycle + cfg.mispredict_penalty,
+                        cause: StallCause::Redirect,
+                    };
+                }
+                self.region = Some(r);
+                Gate::Proceed
+            }
+            None => {
+                // Empty FTQ: the §III pathology. When the discovery
+                // engine cannot recover on its own — parked on an
+                // unknown indirect target, or its reactive-fill request
+                // was dropped — the core makes "forward progress one
+                // block at a time": it fetches directly until the
+                // blocking branch resolves at execute, then redirects
+                // discovery to the resolved target.
+                self.empty_streak += 1;
+                let parked = self.engine.is_parked();
+                let lost_fill = self
+                    .engine
+                    .stalled_block()
+                    .is_some_and(|blk| !m.mshr.contains(blk) && !m.l1i.contains(blk));
+                if parked || lost_fill || self.empty_streak > 64 {
+                    self.empty_streak = 0;
+                    self.fallback = true;
+                    Gate::Proceed
+                } else {
+                    if dispatched == 0 {
+                        m.stats.stall_empty_ftq += 1;
+                        if let Some(t) = m.telem.as_deref_mut() {
+                            t.add(Ctr::StallEmptyFtqCycles, 1);
+                        }
+                    }
+                    Gate::EndCycle
+                }
+            }
+        }
+    }
+
+    fn after_demand(&mut self, _m: &mut Machine, _block: Block, _outcome: &DemandOutcome) {}
+
+    fn consume(&mut self, m: &mut Machine, cfg: &SimConfig, instr: &Instr) -> Consumed {
+        if self.fallback {
+            // Direct-fetch fallback: train predictors and retire-side
+            // learning, then restart discovery at the first resolved
+            // control transfer.
+            if let InstrKind::CondBranch { taken } = instr.kind {
+                let pred = m.tage.predict(instr.pc);
+                m.tage.update(instr.pc, taken);
+                m.note_tage(pred == taken);
+            }
+            let _ = self.arch_ras_note(instr);
+            self.engine.on_retire(instr);
+            if instr.redirects() {
+                // The blocking branch resolved at execute: restart
+                // discovery at the resolved target and charge the
+                // resolution bubble.
+                self.redirect(m, instr.next_pc());
+                return Consumed::Stall {
+                    until: m.cycle + cfg.btb_miss_penalty,
+                    cause: StallCause::Btb,
+                };
+            }
+            return Consumed::Continue;
+        }
+        // Retire-side learning + direction training. `would_predict`
+        // captures what a history-current predictor says at consume
+        // time — the accuracy a real speculatively-updated BPU
+        // achieves, which our history-stale discovery pass cannot.
+        let mut would_predict_correctly = false;
+        if let InstrKind::CondBranch { taken } = instr.kind {
+            let pred = m.tage.predict(instr.pc);
+            m.tage.update(instr.pc, taken);
+            m.note_tage(pred == taken);
+            would_predict_correctly = pred == taken;
+        }
+        // Architectural RAS (for speculative-RAS repair on squash).
+        if matches!(instr.kind, InstrKind::Return) {
+            let expected = self.arch_ras_note(instr);
+            would_predict_correctly = expected == Some(instr.target);
+        } else {
+            let _ = self.arch_ras_note(instr);
+        }
+        self.engine.on_retire(instr);
+        // Region end?
+        if let Some(region) = self.region {
+            if instr.pc >= region.end {
+                self.region = None;
+                let actual_next = instr.next_pc();
+                if actual_next != region.next {
+                    self.redirect(m, actual_next);
+                    // Genuine mispredicts (a history-current BPU would
+                    // also have been wrong) pay the full squash; mere
+                    // discovery drift — the runahead pass predicting
+                    // with stale history or an unrepaired RAS — is a
+                    // cheap FTQ resteer, as in hardware where the BPU
+                    // checkpoints history and the FTQ entry carries the
+                    // correct prediction.
+                    let penalty = if would_predict_correctly {
+                        2
+                    } else {
+                        m.wrong_path_traffic(instr, cfg.wrong_path_blocks);
+                        cfg.mispredict_penalty
+                    };
+                    return Consumed::Stall {
+                        until: m.cycle + penalty,
+                        cause: StallCause::Redirect,
+                    };
+                }
+                if instr.redirects() {
+                    return Consumed::EndGroup; // one taken branch per cycle
+                }
+            }
+        }
+        Consumed::Continue
+    }
+
+    fn end_cycle(&mut self, _m: &mut Machine) {}
+
+    fn pump(&mut self, m: &mut Machine) {
+        m.drain_fills(None);
+        self.engine.advance(m, &mut self.ftq);
+    }
+
+    fn sample(&self) -> (Option<u64>, Option<(u64, u64)>) {
+        (Some(self.ftq.len() as u64), None)
+    }
+
+    fn on_reset(&mut self) {
+        self.engine.reset_btb_stats();
+    }
+
+    fn finish_report(&self, r: &mut SimReport) {
+        r.storage_bits = self.engine.storage_bits();
+        if let Some((btb, stats)) = self.engine.shotgun_split_stats() {
+            r.shotgun_btb = Some(btb);
+            r.shotgun = Some(stats);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The [`FrontendDriver`] trait: everything method-specific about the
+//! per-cycle fetch loop, factored out of the (single) loop in
+//! [`sim`](super::sim).
+//!
+//! Each simulated cycle, [`Simulator::step`](super::Simulator) runs:
+//!
+//! 1. [`begin_cycle`](FrontendDriver::begin_cycle) — drain fills,
+//!    advance discovery;
+//! 2. per instruction, up to the fetch width:
+//!    [`gate`](FrontendDriver::gate) (may the frontend fetch this
+//!    instruction now?), then the shared demand access, then
+//!    [`after_demand`](FrontendDriver::after_demand) (prefetcher
+//!    hooks), then — once the instruction is consumed —
+//!    [`consume`](FrontendDriver::consume) (branch handling,
+//!    retire-side learning);
+//! 3. [`end_cycle`](FrontendDriver::end_cycle) — pump prefetcher
+//!    queues — unless a stall ended the cycle early.
+//!
+//! During a stall the loop calls [`pump`](FrontendDriver::pump) up to
+//! 16 times so background engines keep working while fetch waits.
+
+use super::decoupled::DecoupledDriver;
+use super::directed::DirectedDriver;
+use super::memory::DemandOutcome;
+use super::Machine;
+use crate::config::SimConfig;
+use crate::metrics::SimReport;
+use dcfb_frontend::Ftq;
+use dcfb_prefetch::DriverPlan;
+use dcfb_trace::{Addr, Block, Instr};
+
+/// Why fetch is stalled (the Table I attribution).
+#[derive(Clone, Copy, Debug)]
+pub enum StallCause {
+    /// Waiting on an instruction block below the L1i.
+    L1i,
+    /// A taken branch missed the BTB: decode-detect bubble.
+    Btb,
+    /// A squash: misprediction or discovery-engine resteer.
+    Redirect,
+}
+
+/// What [`FrontendDriver::gate`] decided about fetching the next
+/// instruction this cycle.
+pub enum Gate {
+    /// Fetch may proceed with this instruction.
+    Proceed,
+    /// Nothing fetchable this cycle (e.g. the FTQ is empty); end the
+    /// cycle normally.
+    EndCycle,
+    /// The driver scheduled a stall (e.g. an FTQ-region mismatch forced
+    /// a resteer); end the cycle via the stall path.
+    Stall {
+        /// Cycle the stall ends.
+        until: u64,
+        /// Attribution of the stalled cycles.
+        cause: StallCause,
+    },
+}
+
+/// What [`FrontendDriver::consume`] decided after an instruction
+/// retired through the frontend.
+pub enum Consumed {
+    /// Keep fetching within this cycle's group.
+    Continue,
+    /// End this fetch group (at most one taken branch per group) but
+    /// finish the cycle normally.
+    EndGroup,
+    /// The instruction triggered a stall (misprediction, BTB bubble,
+    /// discovery resteer); end the cycle via the stall path.
+    Stall {
+        /// Cycle the stall ends.
+        until: u64,
+        /// Attribution of the stalled cycles.
+        cause: StallCause,
+    },
+}
+
+/// One frontend style: the method-specific half of the per-cycle loop.
+///
+/// Two production implementations exist — the conventional decoupled
+/// frontend ([`decoupled`](super::decoupled)) and the BTB-directed
+/// frontend ([`directed`](super::directed)) — plus mock drivers in the
+/// test suite. The shared loop owns cycle counting, the demand access,
+/// retire accounting, and stall bookkeeping; drivers own everything
+/// else.
+pub trait FrontendDriver {
+    /// Start-of-cycle work: drain MSHR fills and advance any discovery
+    /// engine. Runs exactly once per simulated cycle.
+    fn begin_cycle(&mut self, m: &mut Machine);
+
+    /// Decides whether `instr` may be fetched now (`dispatched`
+    /// instructions already went this cycle). The BTB-directed driver
+    /// pops and verifies FTQ regions here.
+    fn gate(&mut self, m: &mut Machine, cfg: &SimConfig, instr: &Instr, dispatched: u32) -> Gate;
+
+    /// Observes the demand access for `block` (called for every
+    /// outcome, including misses and retries). The decoupled driver
+    /// feeds its prefetcher's `on_demand` hook from here.
+    fn after_demand(&mut self, m: &mut Machine, block: Block, outcome: &DemandOutcome);
+
+    /// Handles a just-consumed instruction: branch prediction, BTB
+    /// maintenance, retire-side learning, and redirect/squash
+    /// decisions.
+    fn consume(&mut self, m: &mut Machine, cfg: &SimConfig, instr: &Instr) -> Consumed;
+
+    /// End-of-cycle work for cycles that did not stall (the decoupled
+    /// driver pumps its prefetcher queues once here).
+    fn end_cycle(&mut self, m: &mut Machine);
+
+    /// One background pump while fetch is stalled: drain fills and tick
+    /// the prefetcher / advance discovery. The loop bounds this to at
+    /// most 16 pumps per stall.
+    fn pump(&mut self, m: &mut Machine);
+
+    /// Telemetry sample: (FTQ occupancy if this driver has an FTQ, RLU
+    /// lookup/hit counters if its prefetcher exposes them).
+    fn sample(&self) -> (Option<u64>, Option<(u64, u64)>);
+
+    /// Called when measurement starts (after warmup) so drivers can
+    /// reset engine-local statistics.
+    fn on_reset(&mut self) {}
+
+    /// Contributes driver-specific fields (metadata storage, Shotgun's
+    /// split-BTB statistics) to the finished report.
+    fn finish_report(&self, r: &mut SimReport);
+}
+
+/// Builds the [`FrontendDriver`] for `cfg.prefetcher` via the method
+/// registry's [`DriverPlan`].
+pub fn build_driver(cfg: &SimConfig, start_pc: Addr) -> Box<dyn FrontendDriver> {
+    match cfg.prefetcher.build(cfg.isa, start_pc) {
+        DriverPlan::Decoupled(pf) => Box::new(DecoupledDriver::new(pf)),
+        DriverPlan::Directed(engine) => {
+            Box::new(DirectedDriver::new(engine, Ftq::new(cfg.ftq_entries)))
+        }
+    }
+}

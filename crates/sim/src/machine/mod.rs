@@ -1,0 +1,163 @@
+//! The cycle-approximate frontend timing machine, decomposed into
+//! planes:
+//!
+//! * **memory plane** ([`memory`]) — L1i, MSHRs, prefetch buffer, and
+//!   the uncore below them: demand accesses, fills, and the
+//!   CMAL/timeliness accounting;
+//! * **fetch core** ([`fetch`]) — pre-decode, TAGE bookkeeping, and
+//!   wrong-path traffic past mispredictions;
+//! * **prefetcher context** ([`context`]) — the [`Machine`]'s
+//!   implementations of the `dcfb-prefetch` context traits, through
+//!   which every prefetcher and discovery engine observes and acts on
+//!   the machine;
+//! * **frontend drivers** ([`driver`], [`decoupled`], [`directed`]) —
+//!   the per-cycle loop is written once in [`sim`]; everything
+//!   method-specific sits behind the [`FrontendDriver`] trait, with the
+//!   conventional decoupled frontend and the BTB-directed (FTQ-driven)
+//!   frontend as its two implementations.
+//!
+//! Two driver styles share one [`Machine`]:
+//!
+//! * the **conventional decoupled frontend** (baseline, NL/NXL, SN4L,
+//!   Dis, SN4L+Dis(+BTB), conventional discontinuity, Confluence, and
+//!   any registry composition of them): fetch follows the trace; taken
+//!   branches need a BTB hit to redirect without a bubble; direction
+//!   comes from TAGE and return targets from the RAS; prefetchers
+//!   observe L1i events and pump their queues once per cycle;
+//! * the **BTB-directed frontend** (Boomerang, Shotgun): the discovery
+//!   engine runs ahead of fetch filling the FTQ, fetch consumes FTQ
+//!   regions and verifies them against the trace, and FTQ starvation
+//!   surfaces as the empty-FTQ stalls of Table I.
+//!
+//! Timing simplifications (documented in DESIGN.md): the backend is
+//! ideal beyond its 3-wide width; L1i hit latency is fully pipelined;
+//! stall periods are advanced in bulk with the prefetcher ticked up to
+//! 16 times per stall; wrong-path execution is modeled as redirect
+//! penalties plus bounded wrong-path block fetches that consume
+//! bandwidth without polluting the L1i.
+
+pub mod context;
+pub mod decoupled;
+pub mod directed;
+pub mod driver;
+pub mod fetch;
+pub mod memory;
+pub mod sim;
+#[cfg(test)]
+mod tests;
+
+pub use driver::{build_driver, Consumed, FrontendDriver, Gate, StallCause};
+pub use memory::DemandOutcome;
+pub use sim::Simulator;
+
+use crate::config::SimConfig;
+use dcfb_cache::{Completion, MshrFile, PrefetchBuffer, SetAssocCache};
+use dcfb_frontend::{Btb, BtbEntry, Predecoder, ReturnAddressStack, Tage, TageConfig};
+use dcfb_prefetch::{BtbPrefetchBuffer, RecentInstrs};
+use dcfb_telemetry::{RunTelemetry, TelemetryConfig};
+use dcfb_trace::{Block, CodeMemory};
+use dcfb_uncore::Uncore;
+use fxhash::FxHashMap;
+use std::sync::Arc;
+
+/// Counters accumulated while running (reset after warmup).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RawStats {
+    pub(crate) cycles: u64,
+    pub(crate) instrs: u64,
+    pub(crate) seq_misses: u64,
+    pub(crate) disc_misses: u64,
+    pub(crate) stall_l1i: u64,
+    pub(crate) stall_btb: u64,
+    pub(crate) stall_redirect: u64,
+    pub(crate) stall_empty_ftq: u64,
+    pub(crate) cmal_covered: f64,
+    pub(crate) cmal_total: f64,
+    pub(crate) late_prefetches: u64,
+    pub(crate) uncovered_misses: u64,
+    pub(crate) dropped_prefetches: u64,
+    /// Demand misses absorbed by the prefetch buffer (re-credited as
+    /// hits in the report).
+    pub(crate) buffer_hits: u64,
+}
+
+/// The machine state shared by both frontend drivers: the memory plane
+/// (L1i/MSHR/prefetch-buffer/uncore), the fetch core (BTB/TAGE/RAS/
+/// pre-decode), and the run counters. Implements the prefetcher-facing
+/// context traits (see [`context`]).
+///
+/// Drivers manipulate the machine through its plane methods; the struct
+/// itself has no public surface beyond what [`FrontendDriver`]
+/// implementations inside this module tree need.
+pub struct Machine {
+    pub(crate) cycle: u64,
+    pub(crate) l1i: SetAssocCache,
+    pub(crate) pf_buffer: Option<PrefetchBuffer>,
+    pub(crate) mshr: MshrFile,
+    pub(crate) uncore: Uncore,
+    pub(crate) btb: Btb,
+    pub(crate) btb_buffer: BtbPrefetchBuffer,
+    pub(crate) tage: Tage,
+    pub(crate) ras: ReturnAddressStack,
+    pub(crate) predecoder: Predecoder,
+    pub(crate) code: Arc<dyn CodeMemory + Send + Sync>,
+    pub(crate) workload_name: String,
+    pub(crate) recent: RecentInstrs,
+    pub(crate) prev_demand_block: Option<Block>,
+    /// Latency of completed prefetches still resident (CMAL accounting).
+    /// FxHash: touched on every prefetch fill/evict/demand hit.
+    pub(crate) prefetch_latency: FxHashMap<Block, u64>,
+    /// Pre-decode results per static block. Valid only for
+    /// self-describing encodings (Fixed4), where a block always decodes
+    /// the same way; variable-length decoding depends on the DV-LLC's
+    /// current branch footprint and is never cached.
+    pub(crate) predecode_cache: FxHashMap<Block, Arc<[BtbEntry]>>,
+    /// Reused per-cycle scratch for MSHR completions.
+    pub(crate) fill_scratch: Vec<Completion>,
+    pub(crate) perfect_l1i: bool,
+    pub(crate) stats: RawStats,
+    pub(crate) tage_predictions: u64,
+    pub(crate) tage_correct: u64,
+    /// The telemetry recorder, present only when
+    /// [`SimConfig::telemetry`] is set. Every instrumentation site
+    /// guards on this option, so the off-mode cost is one never-taken
+    /// branch per site.
+    pub(crate) telem: Option<Box<RunTelemetry>>,
+}
+
+impl Machine {
+    pub(crate) fn new(
+        cfg: &SimConfig,
+        code: Arc<dyn CodeMemory + Send + Sync>,
+        workload_name: String,
+    ) -> Self {
+        Machine {
+            cycle: 0,
+            l1i: SetAssocCache::new(cfg.l1i),
+            pf_buffer: cfg
+                .use_prefetch_buffer
+                .then(|| PrefetchBuffer::new(cfg.prefetch_buffer_entries)),
+            mshr: MshrFile::new(cfg.mshrs),
+            uncore: Uncore::new(cfg.uncore.clone()),
+            btb: Btb::new(cfg.btb),
+            btb_buffer: BtbPrefetchBuffer::paper_sized(),
+            tage: Tage::new(TageConfig::default()),
+            ras: ReturnAddressStack::new(32),
+            predecoder: Predecoder::new(cfg.isa),
+            code,
+            workload_name,
+            recent: RecentInstrs::default(),
+            prev_demand_block: None,
+            prefetch_latency: FxHashMap::default(),
+            predecode_cache: FxHashMap::default(),
+            fill_scratch: Vec::new(),
+            perfect_l1i: cfg.perfect_l1i,
+            stats: RawStats::default(),
+            tage_predictions: 0,
+            tage_correct: 0,
+            telem: cfg
+                .telemetry
+                .then(|| Box::new(RunTelemetry::new(TelemetryConfig::default()))),
+        }
+    }
+}

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use dcfb_sim::{SimConfig, Simulator};
 use dcfb_trace::IsaMode;
 use dcfb_workloads::{ProgramImage, Walker, WorkloadParams};

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use dcfb_trace::{InstrStream, IsaMode};
 use dcfb_workloads::{all_workloads, Walker};
 use std::collections::HashSet;
