@@ -31,8 +31,17 @@ fn main() {
     let checkpoint_path = Checkpoint::default_path();
     let resume = Checkpoint::resume_requested();
     let mut checkpoint = if resume {
-        match Checkpoint::load(&checkpoint_path) {
-            Ok(cp) => {
+        // Lenient load: a checkpoint torn by a mid-write kill (or any
+        // other corruption) salvages its valid prefix instead of
+        // discarding all recorded progress.
+        match Checkpoint::load_lenient(&checkpoint_path) {
+            Ok((cp, salvage)) => {
+                if let Some(reason) = salvage {
+                    eprintln!(
+                        "warning: checkpoint damaged ({reason}); salvaged {} complete figure(s)",
+                        cp.len()
+                    );
+                }
                 eprintln!(
                     "resuming from {} ({} figures checkpointed)",
                     checkpoint_path.display(),

@@ -12,6 +12,13 @@
 //! shape (an object whose keys and values are strings), rejecting
 //! anything else. Checkpoints written by a different build are safe to
 //! load — worst case the markdown is regenerated.
+//!
+//! Mirroring the trace v2 strict/lenient split, there are two readers:
+//! [`Checkpoint::from_json`] rejects any damage (the safe default for
+//! untrusted files), while [`Checkpoint::from_json_lenient`] salvages
+//! every complete `"figure": "markdown"` entry before the first syntax
+//! problem — so a checkpoint truncated by a mid-write kill costs only
+//! the torn tail entry, not the whole batch's progress.
 
 use dcfb_errors::DcfbError;
 use std::path::{Path, PathBuf};
@@ -103,6 +110,17 @@ impl Checkpoint {
         Parser::new(text).object()
     }
 
+    /// Parses the flat JSON object format leniently: every complete
+    /// `"key": "value"` entry before the first syntax problem is
+    /// salvaged. Returns the salvaged checkpoint plus the one-line
+    /// reason parsing stopped early (`None` for an undamaged file).
+    pub fn from_json_lenient(text: &str) -> (Self, Option<String>) {
+        let mut p = Parser::new(text);
+        let mut cp = Checkpoint::new();
+        let reason = p.object_into(&mut cp).err().map(|e| e.to_string());
+        (cp, reason)
+    }
+
     /// Writes the checkpoint to `path`, creating parent directories.
     ///
     /// # Errors
@@ -136,6 +154,26 @@ impl Checkpoint {
             Err(e) => return Err(DcfbError::io(path.display().to_string(), &e)),
         };
         Checkpoint::from_json(&text)
+    }
+
+    /// Loads a checkpoint from `path` leniently: a truncated or corrupt
+    /// file yields the salvageable prefix plus the reason, instead of
+    /// discarding all recorded progress. A missing file is an empty
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfbError::Io`] on read failure other than not-found
+    /// (damage is salvaged, but an unreadable file is still an error).
+    pub fn load_lenient(path: &Path) -> Result<(Self, Option<String>), DcfbError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Checkpoint::new(), None));
+            }
+            Err(e) => return Err(DcfbError::io(path.display().to_string(), &e)),
+        };
+        Ok(Checkpoint::from_json_lenient(&text))
     }
 }
 
@@ -205,8 +243,17 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Checkpoint, DcfbError> {
-        self.expect(b'{')?;
         let mut cp = Checkpoint::new();
+        self.object_into(&mut cp)?;
+        Ok(cp)
+    }
+
+    /// Parses the object into `cp` entry by entry. Each complete
+    /// `"key": "value"` pair is recorded before the separator after it
+    /// is examined, so on error `cp` holds exactly the salvageable
+    /// prefix — the strict path discards it, the lenient path keeps it.
+    fn object_into(&mut self, cp: &mut Checkpoint) -> Result<(), DcfbError> {
+        self.expect(b'{')?;
         if self.peek() == Some(b'}') {
             self.pos += 1;
         } else {
@@ -229,7 +276,7 @@ impl<'a> Parser<'a> {
         if self.pos != self.bytes.len() {
             return Err(self.err("trailing data"));
         }
-        Ok(cp)
+        Ok(())
     }
 
     fn string(&mut self) -> Result<String, DcfbError> {
@@ -343,6 +390,69 @@ mod tests {
             let err = Checkpoint::from_json(bad).unwrap_err();
             assert!(matches!(err, DcfbError::Config(_)), "{bad:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn lenient_parse_salvages_valid_prefix() {
+        let mut cp = Checkpoint::new();
+        cp.put("fig01", "one\ntwo");
+        cp.put("fig02", "quotes \" and \\");
+        cp.put("fig03", "tail");
+        let json = cp.to_json();
+        // Truncate at every byte offset: the salvage must never error,
+        // never invent entries, and always keep a prefix of the
+        // original entry list with intact values.
+        for cut in 0..json.len() {
+            let (got, reason) = Checkpoint::from_json_lenient(&json[..cut]);
+            assert!(reason.is_some(), "truncation at {cut} reported no damage");
+            assert!(got.len() <= cp.len());
+            for (i, (k, v)) in got.entries.iter().enumerate() {
+                assert_eq!((k, v), (&cp.entries[i].0, &cp.entries[i].1), "cut {cut}");
+            }
+        }
+        // Cutting just past the last value's closing quote keeps all
+        // three entries even though the object never closed.
+        let cut = json.rfind('"').unwrap() + 1;
+        let (got, reason) = Checkpoint::from_json_lenient(&json[..cut]);
+        assert_eq!(got, cp);
+        assert!(reason.unwrap().contains("byte"), "reason names the offset");
+        // An undamaged file salvages completely with no reason.
+        let (got, reason) = Checkpoint::from_json_lenient(&json);
+        assert_eq!(got, cp);
+        assert!(reason.is_none());
+    }
+
+    #[test]
+    fn lenient_parse_of_garbage_is_empty_with_reason() {
+        for bad in ["", "not json", "[\"a\"]", "{\"a\": 1}"] {
+            let (got, reason) = Checkpoint::from_json_lenient(bad);
+            assert!(got.is_empty(), "{bad:?}");
+            assert!(reason.is_some(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn load_lenient_handles_missing_and_truncated_files() {
+        let (cp, reason) =
+            Checkpoint::load_lenient(Path::new("/nonexistent/dcfb/checkpoint.json")).unwrap();
+        assert!(cp.is_empty());
+        assert!(reason.is_none());
+
+        let dir = std::env::temp_dir().join(format!("dcfb-ckpt-lenient-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.json");
+        let mut full = Checkpoint::new();
+        full.put("fig01", "alpha");
+        full.put("fig02", "beta");
+        let json = full.to_json();
+        // Cut inside the second value: only fig01 survives.
+        let cut = json.find("beta").unwrap() + 2;
+        std::fs::write(&path, &json[..cut]).unwrap();
+        let (cp, reason) = Checkpoint::load_lenient(&path).unwrap();
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.get("fig01"), Some("alpha"));
+        assert!(reason.unwrap().contains("malformed checkpoint JSON"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

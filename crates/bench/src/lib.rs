@@ -16,12 +16,18 @@
 //!   merged in item order, so the output is byte-identical for every
 //!   job count.
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod figures;
 pub mod runs;
+pub mod supervisor;
 pub mod sweep;
 pub mod table;
 
 pub use runs::{measure_instrs, warmup_instrs, workloads};
+pub use supervisor::{
+    BackoffPolicy, Deadline, JobEnvelope, JobOutcome, JobRecord, JobStatus, SupervisionReport,
+    Supervisor, SupervisorOptions,
+};
 pub use sweep::{run_bench_sweep, BenchSweepReport, SweepOptions};
 pub use table::Table;

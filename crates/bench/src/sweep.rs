@@ -173,6 +173,11 @@ pub struct BenchSweepReport {
     /// Throughput cost of enabling telemetry:
     /// `1 - telemetry_ips / dcfb_ips` (negative values are timer noise).
     pub telemetry_overhead_frac: f64,
+    /// Provenance of `telemetry_overhead_frac`: `"on-path"` means the
+    /// telemetry-enabled timing includes the per-cycle recording inside
+    /// the simulation loop (finalize/export excluded); `"off-path"`
+    /// would mean recording happened outside the timed region.
+    pub telemetry_overhead_measurement: String,
     /// Prefetches issued during the telemetry-enabled run, summed over
     /// every prefetcher source.
     pub telemetry_issued_prefetches: u64,
@@ -184,8 +189,15 @@ pub struct BenchSweepReport {
 ///
 /// v2 added the telemetry on/off throughput delta
 /// (`single_run_dcfb_telemetry_ips`, `telemetry_overhead_frac`) and the
-/// timeliness digest of the telemetry-enabled run.
-pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v2";
+/// timeliness digest of the telemetry-enabled run. v3 records the
+/// provenance of the overhead measurement
+/// (`telemetry_overhead_measurement`: on-path vs off-path).
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v3";
+
+/// `telemetry_overhead_measurement` value for the measurement this
+/// crate performs: the telemetry-enabled run is timed with per-cycle
+/// recording on the simulation path (export excluded).
+pub const TELEMETRY_OVERHEAD_ON_PATH: &str = "on-path";
 
 fn sweep_config(method: &str, opts: &SweepOptions) -> Result<SimConfig, DcfbError> {
     let mut cfg = runs::try_method_config(method)?;
@@ -291,6 +303,7 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
         single_run_dcfb_ips,
         single_run_dcfb_telemetry_ips,
         telemetry_overhead_frac,
+        telemetry_overhead_measurement: TELEMETRY_OVERHEAD_ON_PATH.to_owned(),
         telemetry_issued_prefetches: telemetry_issued,
         telemetry_accurate_prefetches: telemetry_accurate,
     })
@@ -348,6 +361,11 @@ impl BenchSweepReport {
             false,
         );
         put(
+            "telemetry_overhead_measurement",
+            format!("\"{}\"", self.telemetry_overhead_measurement),
+            false,
+        );
+        put(
             "telemetry_issued_prefetches",
             self.telemetry_issued_prefetches.to_string(),
             false,
@@ -402,6 +420,14 @@ impl BenchSweepReport {
                 )))
             }
         };
+        let telemetry_overhead_measurement = match get("telemetry_overhead_measurement")? {
+            JsonScalar::String(s) => s.clone(),
+            other => {
+                return Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field \"telemetry_overhead_measurement\" must be a string, got {other:?}"
+                )))
+            }
+        };
         let deterministic = match get("deterministic")? {
             JsonScalar::Bool(b) => *b,
             other => {
@@ -428,6 +454,7 @@ impl BenchSweepReport {
             single_run_dcfb_ips: f64_field("single_run_dcfb_ips")?,
             single_run_dcfb_telemetry_ips: f64_field("single_run_dcfb_telemetry_ips")?,
             telemetry_overhead_frac: f64_field("telemetry_overhead_frac")?,
+            telemetry_overhead_measurement,
             telemetry_issued_prefetches: u64_field("telemetry_issued_prefetches")?,
             telemetry_accurate_prefetches: u64_field("telemetry_accurate_prefetches")?,
         })
@@ -493,6 +520,14 @@ impl BenchSweepReport {
             || (self.telemetry_overhead_frac - expected).abs() > 1e-6 * expected.abs().max(1.0)
         {
             return fail("telemetry_overhead_frac must equal 1 - telemetry_ips / dcfb_ips");
+        }
+        if self.telemetry_overhead_measurement != TELEMETRY_OVERHEAD_ON_PATH
+            && self.telemetry_overhead_measurement != "off-path"
+        {
+            return fail(&format!(
+                "telemetry_overhead_measurement must be \"on-path\" or \"off-path\", got {:?}",
+                self.telemetry_overhead_measurement
+            ));
         }
         if self.telemetry_accurate_prefetches > self.telemetry_issued_prefetches {
             return fail("accurate prefetches cannot exceed issued prefetches");
@@ -701,6 +736,7 @@ mod tests {
             single_run_dcfb_ips: 1.1e6,
             single_run_dcfb_telemetry_ips: 1.0e6,
             telemetry_overhead_frac: 1.0 - 1.0e6 / 1.1e6,
+            telemetry_overhead_measurement: TELEMETRY_OVERHEAD_ON_PATH.to_owned(),
             telemetry_issued_prefetches: 9_000,
             telemetry_accurate_prefetches: 7_500,
         }
@@ -720,6 +756,12 @@ mod tests {
         let mut r = sample_report();
         r.schema = "wrong".into();
         assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.telemetry_overhead_measurement = "sideways".into();
+        assert!(r.validate().is_err());
+        r.telemetry_overhead_measurement = "off-path".into();
+        assert!(r.validate().is_ok());
 
         let mut r = sample_report();
         r.runs = 5; // != workloads * methods

@@ -33,6 +33,12 @@ COMMANDS:
                          streams, plus cross-prefetcher invariants;
                          exits 4 with a shrunk counterexample on the
                          first divergence
+    chaos                Run the seeded fault campaign through the real
+                         stack (supervised retries, deadlines,
+                         quarantine, trace corruption, checkpoint
+                         salvage) and check its invariants; exits 4 on
+                         any violation. --seed reproduces a campaign,
+                         --quick runs the tier-1 smoke subset
     help                 Show this message
 
 OPTIONS:
@@ -52,6 +58,7 @@ OPTIONS:
     --lenient            For `replay`: salvage the valid prefix of a
                          damaged trace instead of failing (default is
                          strict: any corruption is an error, exit 3)
+    --quick              For `chaos`: run the reduced smoke campaign
 ";
 
 /// Parsed command line.
@@ -85,6 +92,8 @@ pub struct Cli {
     pub lenient: bool,
     /// `--ops` for `conformance`: fuzzed ops per structure.
     pub ops: usize,
+    /// `--quick` for `chaos`: reduced smoke campaign.
+    pub quick: bool,
 }
 
 impl Cli {
@@ -115,6 +124,7 @@ impl Cli {
             format: "binary".to_owned(),
             lenient: false,
             ops: 10_000,
+            quick: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -165,6 +175,7 @@ impl Cli {
                 }
                 "--json" => cli.json = true,
                 "--lenient" => cli.lenient = true,
+                "--quick" => cli.quick = true,
                 "--out" => cli.out = Some(value("--out")?),
                 "--trace" => cli.trace = Some(value("--trace")?),
                 "--format" => {
@@ -270,6 +281,15 @@ mod tests {
         assert_eq!(parse(&["conformance"]).unwrap().ops, 10_000);
         assert!(parse(&["conformance", "--ops", "0"]).is_err());
         assert!(parse(&["conformance", "--ops", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cli = parse(&["chaos", "--seed", "42", "--quick"]).unwrap();
+        assert_eq!(cli.command, "chaos");
+        assert_eq!(cli.seed, 42);
+        assert!(cli.quick);
+        assert!(!parse(&["chaos"]).unwrap().quick);
     }
 
     #[test]

@@ -462,3 +462,42 @@ pub fn conformance(cli: &Cli) -> Result<(), DcfbError> {
         })
     }
 }
+
+/// `chaos`: the seeded fault campaign — supervised retries, deadlines,
+/// quarantine, trace corruption, and checkpoint salvage, all through
+/// the real stack, with every invariant checked.
+pub fn chaos(cli: &Cli) -> Result<(), DcfbError> {
+    let opts = dcfb_bench::chaos::ChaosOptions {
+        seed: cli.seed,
+        quick: cli.quick,
+        ..dcfb_bench::chaos::ChaosOptions::default()
+    };
+    // The campaign injects worker panics on purpose; keep the default
+    // hook's noise (message + optional backtrace) out of stderr for
+    // those while leaving genuine panics visible. `take_hook` afterwards
+    // restores the default hook.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !dcfb_errors::panic_message(info.payload()).contains("injected fault") {
+            prev(info);
+        }
+    }));
+    let report = dcfb_bench::chaos::run_chaos(&opts);
+    let _ = std::panic::take_hook();
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        let first = report.failures.first().cloned().unwrap_or_default();
+        Err(DcfbError::Run {
+            workload: "fault campaign".to_owned(),
+            method: "chaos".to_owned(),
+            message: format!(
+                "{} invariant violation(s) (first: {first}); reproduce with --seed {}{}",
+                report.failures.len(),
+                report.seed,
+                if report.quick { " --quick" } else { "" }
+            ),
+        })
+    }
+}

@@ -11,6 +11,7 @@
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! dcfb conformance [--seed N] [--ops N]
+//! dcfb chaos    [--seed N] [--quick]
 //! ```
 //!
 //! Common options: `--warmup N`, `--measure N`, `--seed N`,
@@ -19,7 +20,8 @@
 //! Every failure prints a one-line `error:` diagnostic — never a
 //! backtrace — and exits with a code describing what went wrong:
 //! 2 usage, 3 bad input (corrupt trace, unknown workload/method, bad
-//! config), 4 run failure, 5 host I/O.
+//! config), 4 run failure, 5 host I/O, 6 supervised job timeout,
+//! 7 job quarantined.
 
 mod args;
 mod commands;
@@ -51,6 +53,7 @@ fn main() {
         "record" => commands::record(&cli),
         "replay" => commands::replay(&cli),
         "conformance" => commands::conformance(&cli),
+        "chaos" => commands::chaos(&cli),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

@@ -22,8 +22,10 @@ use std::sync::Arc;
 const GOLDEN: &str = include_str!("golden_digests.txt");
 
 /// Builds the fixed-seed fixture program (the same image the simulator
-/// test suite uses: big enough to thrash the shrunken L1i).
-fn fixture_image() -> Arc<ProgramImage> {
+/// test suite uses: big enough to thrash the shrunken L1i). Public so
+/// external harnesses (the chaos campaign) can run the same fixture
+/// their golden checks are pinned to.
+pub fn fixture_image() -> Arc<ProgramImage> {
     let params = WorkloadParams {
         functions: 500,
         root_functions: 32,
@@ -51,6 +53,11 @@ pub fn fixture_digest(
     let mut sim = Simulator::try_new(cfg, Arc::clone(image)).map_err(|e| e.to_string())?;
     let mut walker = Walker::new(Arc::clone(image), 5);
     Ok(sim.run(&mut walker).digest())
+}
+
+/// The checked-in `(method, digest)` golden pairs, in file order.
+pub fn goldens() -> Result<Vec<(&'static str, &'static str)>, String> {
+    parse_goldens()
 }
 
 fn parse_goldens() -> Result<Vec<(&'static str, &'static str)>, String> {

@@ -70,5 +70,5 @@ pub use experiment::{
     geomean, run_config, run_config_profiled, run_multi_seed, run_workload, ExperimentResult,
     Measurement,
 };
-pub use machine::Simulator;
+pub use machine::{RunControl, Simulator};
 pub use metrics::{SimReport, StallKind};

@@ -48,7 +48,7 @@ mod tests;
 
 pub use driver::{build_driver, Consumed, FrontendDriver, Gate, StallCause};
 pub use memory::DemandOutcome;
-pub use sim::Simulator;
+pub use sim::{RunControl, Simulator};
 
 use crate::config::SimConfig;
 use dcfb_cache::{Completion, MshrFile, PrefetchBuffer, SetAssocCache};

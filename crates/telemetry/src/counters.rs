@@ -45,11 +45,19 @@ pub enum Ctr {
     StallEmptyFtqCycles,
     /// Trace events discarded after the event buffer filled.
     TraceEventsDropped,
+    /// Supervised job attempts that failed and were retried.
+    JobRetries,
+    /// Supervised job attempts cancelled at their deadline.
+    JobTimeouts,
+    /// Supervised jobs quarantined after exhausting their retry budget
+    /// (including resubmissions skipped because their config digest was
+    /// already quarantined).
+    JobQuarantines,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// All counters, in index order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -71,6 +79,9 @@ impl Ctr {
         Ctr::StallRedirectCycles,
         Ctr::StallEmptyFtqCycles,
         Ctr::TraceEventsDropped,
+        Ctr::JobRetries,
+        Ctr::JobTimeouts,
+        Ctr::JobQuarantines,
     ];
 
     /// Stable machine-readable name (used in the metrics schema).
@@ -94,6 +105,9 @@ impl Ctr {
             Ctr::StallRedirectCycles => "stall_redirect_cycles",
             Ctr::StallEmptyFtqCycles => "stall_empty_ftq_cycles",
             Ctr::TraceEventsDropped => "trace_events_dropped",
+            Ctr::JobRetries => "job_retries",
+            Ctr::JobTimeouts => "job_timeouts",
+            Ctr::JobQuarantines => "job_quarantines",
         }
     }
 }
