@@ -17,7 +17,7 @@
 
 use crate::runs::{self, measure_instrs, warmup_instrs, workloads};
 use dcfb_errors::DcfbError;
-use dcfb_sim::{SimConfig, SimReport};
+use dcfb_sim::{run_sharded, ShardOptions, SimConfig, SimReport};
 use dcfb_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -183,6 +183,30 @@ pub struct BenchSweepReport {
     pub telemetry_issued_prefetches: u64,
     /// Accurately-timed prefetches during the telemetry-enabled run.
     pub telemetry_accurate_prefetches: u64,
+    /// Shard count used for the sharded single-run timing.
+    pub shards: u64,
+    /// Warm-only instruction prefix replayed before each shard after
+    /// the first during the sharded timing.
+    pub shard_warmup_overlap: u64,
+    /// Single-run throughput of the sharded executor at [`shards`]
+    /// shards, counting only the useful (warmup + measure) work — so it
+    /// is directly comparable to `single_run_dcfb_ips`. Trace
+    /// recording and the per-shard overlap replays are included in the
+    /// timed region; they are the price of sharding.
+    ///
+    /// [`shards`]: BenchSweepReport::shards
+    pub single_run_sharded_ips: f64,
+    /// `single_run_sharded_ips / single_run_dcfb_ips`: the end-to-end
+    /// speedup of sharding one run. Below 1.0 on a single-core host
+    /// (the shards serialize but the overlap work remains).
+    pub sharded_speedup: f64,
+    /// Whether a one-shard plan reproduced the sequential report
+    /// digest bit-for-bit on this host (must be true).
+    pub shard_digest_identity: bool,
+    /// Non-empty exactly when the parallel and sharded passes ran with
+    /// one worker: speedups in this report then understate what a
+    /// multi-core host would measure.
+    pub jobs_warning: String,
 }
 
 /// Schema tag for `BENCH_sweep.json`.
@@ -191,8 +215,11 @@ pub struct BenchSweepReport {
 /// (`single_run_dcfb_telemetry_ips`, `telemetry_overhead_frac`) and the
 /// timeliness digest of the telemetry-enabled run. v3 records the
 /// provenance of the overhead measurement
-/// (`telemetry_overhead_measurement`: on-path vs off-path).
-pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v3";
+/// (`telemetry_overhead_measurement`: on-path vs off-path). v4 adds the
+/// sharded-executor timing (`shards`, `shard_warmup_overlap`,
+/// `single_run_sharded_ips`, `sharded_speedup`, `shard_digest_identity`)
+/// and the single-worker `jobs_warning`.
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v4";
 
 /// `telemetry_overhead_measurement` value for the measurement this
 /// crate performs: the telemetry-enabled run is timed with per-cycle
@@ -283,11 +310,53 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
             0.0
         };
 
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
+
+    // Sharded single-run timing: the same SN4L+Dis+BTB run sliced into
+    // K time shards on a K-worker pool, plus the K=1 digest-identity
+    // probe the sharded executor's correctness contract rests on.
+    let shards = opts.jobs.max(2);
+    let (single_run_sharded_ips, shard_warmup_overlap, shard_digest_identity) = match ws.first() {
+        None => (0.0, 1, true),
+        Some(w) => {
+            let cfg = sweep_config("SN4L+Dis+BTB", opts)?;
+            let image = runs::image_for(w, cfg.isa);
+            let seq_digest = runs::run(w, cfg.clone()).digest();
+            let k1 = ShardOptions {
+                shards: 1,
+                warmup_overlap: None,
+                jobs: 1,
+            };
+            let k1_run = run_sharded(&cfg, &image, runs::TRACE_SEED, &k1)?;
+            let identity = k1_run.merged.digest() == seq_digest;
+            let sharded_opts = ShardOptions::new(shards);
+            let overlap = sharded_opts.overlap_for(cfg.warmup_instrs);
+            let t = Instant::now();
+            let _ = run_sharded(&cfg, &image, runs::TRACE_SEED, &sharded_opts)?;
+            let ips = single_run_instrs as f64 / t.elapsed().as_secs_f64().max(1e-9);
+            (ips, overlap, identity)
+        }
+    };
+    let sharded_speedup = if single_run_dcfb_ips > 0.0 && single_run_sharded_ips > 0.0 {
+        single_run_sharded_ips / single_run_dcfb_ips
+    } else {
+        0.0
+    };
+    let jobs_warning = if opts.jobs <= 1 {
+        format!(
+            "jobs == 1 on a {host_cores}-core host: the parallel and sharded \
+             passes ran serially, so sweep_speedup and sharded_speedup \
+             understate what a multi-core host would measure"
+        )
+    } else {
+        String::new()
+    };
+
     Ok(BenchSweepReport {
         schema: BENCH_SWEEP_SCHEMA.to_owned(),
-        host_cores: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1) as u64,
+        host_cores,
         jobs: opts.jobs as u64,
         workloads: ws.len() as u64,
         methods: opts.methods.len() as u64,
@@ -306,6 +375,12 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
         telemetry_overhead_measurement: TELEMETRY_OVERHEAD_ON_PATH.to_owned(),
         telemetry_issued_prefetches: telemetry_issued,
         telemetry_accurate_prefetches: telemetry_accurate,
+        shards: shards as u64,
+        shard_warmup_overlap,
+        single_run_sharded_ips,
+        sharded_speedup,
+        shard_digest_identity,
+        jobs_warning,
     })
 }
 
@@ -373,8 +448,26 @@ impl BenchSweepReport {
         put(
             "telemetry_accurate_prefetches",
             self.telemetry_accurate_prefetches.to_string(),
-            true,
+            false,
         );
+        put("shards", self.shards.to_string(), false);
+        put(
+            "shard_warmup_overlap",
+            self.shard_warmup_overlap.to_string(),
+            false,
+        );
+        put(
+            "single_run_sharded_ips",
+            format_f64(self.single_run_sharded_ips),
+            false,
+        );
+        put("sharded_speedup", format_f64(self.sharded_speedup), false);
+        put(
+            "shard_digest_identity",
+            self.shard_digest_identity.to_string(),
+            false,
+        );
+        put("jobs_warning", format!("\"{}\"", self.jobs_warning), true);
         out.push_str("}\n");
         out
     }
@@ -412,30 +505,25 @@ impl BenchSweepReport {
                 ))),
             }
         };
-        let schema = match get("schema")? {
-            JsonScalar::String(s) => s.clone(),
-            other => {
-                return Err(DcfbError::Config(format!(
-                    "BENCH_sweep.json: field \"schema\" must be a string, got {other:?}"
-                )))
+        let string_field = |key: &str| -> Result<String, DcfbError> {
+            match get(key)? {
+                JsonScalar::String(s) => Ok(s.clone()),
+                other => Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field {key:?} must be a string, got {other:?}"
+                ))),
             }
         };
-        let telemetry_overhead_measurement = match get("telemetry_overhead_measurement")? {
-            JsonScalar::String(s) => s.clone(),
-            other => {
-                return Err(DcfbError::Config(format!(
-                    "BENCH_sweep.json: field \"telemetry_overhead_measurement\" must be a string, got {other:?}"
-                )))
+        let bool_field = |key: &str| -> Result<bool, DcfbError> {
+            match get(key)? {
+                JsonScalar::Bool(b) => Ok(*b),
+                other => Err(DcfbError::Config(format!(
+                    "BENCH_sweep.json: field {key:?} must be a boolean, got {other:?}"
+                ))),
             }
         };
-        let deterministic = match get("deterministic")? {
-            JsonScalar::Bool(b) => *b,
-            other => {
-                return Err(DcfbError::Config(format!(
-                    "BENCH_sweep.json: field \"deterministic\" must be a boolean, got {other:?}"
-                )))
-            }
-        };
+        let schema = string_field("schema")?;
+        let telemetry_overhead_measurement = string_field("telemetry_overhead_measurement")?;
+        let deterministic = bool_field("deterministic")?;
         Ok(BenchSweepReport {
             schema,
             host_cores: u64_field("host_cores")?,
@@ -457,6 +545,12 @@ impl BenchSweepReport {
             telemetry_overhead_measurement,
             telemetry_issued_prefetches: u64_field("telemetry_issued_prefetches")?,
             telemetry_accurate_prefetches: u64_field("telemetry_accurate_prefetches")?,
+            shards: u64_field("shards")?,
+            shard_warmup_overlap: u64_field("shard_warmup_overlap")?,
+            single_run_sharded_ips: f64_field("single_run_sharded_ips")?,
+            sharded_speedup: f64_field("sharded_speedup")?,
+            shard_digest_identity: bool_field("shard_digest_identity")?,
+            jobs_warning: string_field("jobs_warning")?,
         })
     }
 
@@ -531,6 +625,28 @@ impl BenchSweepReport {
         }
         if self.telemetry_accurate_prefetches > self.telemetry_issued_prefetches {
             return fail("accurate prefetches cannot exceed issued prefetches");
+        }
+        if self.shards < 2 {
+            return fail("sharded timing must use at least 2 shards");
+        }
+        if self.shard_warmup_overlap == 0 {
+            return fail("shard_warmup_overlap must be positive");
+        }
+        if !ips_ok(self.single_run_sharded_ips) {
+            return fail("single_run_sharded_ips must be positive");
+        }
+        let expected_sharded = self.single_run_sharded_ips / self.single_run_dcfb_ips;
+        if !self.sharded_speedup.is_finite()
+            || (self.sharded_speedup - expected_sharded).abs()
+                > 1e-6 * expected_sharded.abs().max(1.0)
+        {
+            return fail("sharded_speedup must equal sharded_ips / dcfb_ips");
+        }
+        if !self.shard_digest_identity {
+            return fail("K=1 sharded digest diverged from the sequential run");
+        }
+        if (self.jobs == 1) == self.jobs_warning.is_empty() {
+            return fail("jobs_warning must be non-empty exactly when jobs == 1");
         }
         Ok(())
     }
@@ -739,6 +855,12 @@ mod tests {
             telemetry_overhead_measurement: TELEMETRY_OVERHEAD_ON_PATH.to_owned(),
             telemetry_issued_prefetches: 9_000,
             telemetry_accurate_prefetches: 7_500,
+            shards: 4,
+            shard_warmup_overlap: 2_500,
+            single_run_sharded_ips: 3.3e6,
+            sharded_speedup: 3.3e6 / 1.1e6,
+            shard_digest_identity: true,
+            jobs_warning: String::new(),
         }
     }
 
@@ -793,6 +915,31 @@ mod tests {
 
         let mut r = sample_report();
         r.telemetry_accurate_prefetches = r.telemetry_issued_prefetches + 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.shards = 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.shard_warmup_overlap = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.sharded_speedup = 99.0; // inconsistent with the ips pair
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.shard_digest_identity = false;
+        assert!(r.validate().is_err());
+
+        // jobs_warning must track jobs == 1 in both directions.
+        let mut r = sample_report();
+        r.jobs = 1;
+        assert!(r.validate().is_err());
+        r.jobs_warning = "jobs == 1: speedups understate multi-core hosts".into();
+        assert!(r.validate().is_ok());
+        r.jobs = 4;
         assert!(r.validate().is_err());
     }
 

@@ -24,25 +24,18 @@ pub enum MshrOutcome {
     Full,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Entry {
-    block: Block,
-    issued_at: u64,
-    ready_at: u64,
-    source: PfSource,
-    demand_waiting: bool,
-}
-
-impl Entry {
-    fn is_prefetch(&self) -> bool {
-        self.source.is_prefetch()
-    }
-}
-
 /// A fixed-capacity MSHR file.
+///
+/// Laid out struct-of-arrays: every lookup on the hot path scans only
+/// the dense `blocks` array (one cache line covers eight entries), and
+/// the companion fields are touched just on the matching index.
 #[derive(Clone, Debug)]
 pub struct MshrFile {
-    entries: Vec<Entry>,
+    blocks: Vec<Block>,
+    issued_at: Vec<u64>,
+    ready_at: Vec<u64>,
+    source: Vec<PfSource>,
+    demand_waiting: Vec<bool>,
     capacity: usize,
     peak: usize,
 }
@@ -73,10 +66,18 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         MshrFile {
-            entries: Vec::with_capacity(capacity),
+            blocks: Vec::with_capacity(capacity),
+            issued_at: Vec::with_capacity(capacity),
+            ready_at: Vec::with_capacity(capacity),
+            source: Vec::with_capacity(capacity),
+            demand_waiting: Vec::with_capacity(capacity),
             capacity,
             peak: 0,
         }
+    }
+
+    fn find(&self, block: Block) -> Option<usize> {
+        self.blocks.iter().position(|&b| b == block)
     }
 
     /// Attempts to allocate (or merge into) an entry for `block`
@@ -91,57 +92,46 @@ impl MshrFile {
         source: PfSource,
     ) -> MshrOutcome {
         let is_prefetch = source.is_prefetch();
-        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+        if let Some(i) = self.find(block) {
             if !is_prefetch {
-                e.demand_waiting = true;
+                self.demand_waiting[i] = true;
             }
             return MshrOutcome::Merged {
-                ready_at: e.ready_at,
-                was_prefetch: e.is_prefetch(),
+                ready_at: self.ready_at[i],
+                was_prefetch: self.source[i].is_prefetch(),
             };
         }
-        if self.entries.len() == self.capacity {
+        if self.blocks.len() == self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.push(Entry {
-            block,
-            issued_at: now,
-            ready_at,
-            source,
-            demand_waiting: !is_prefetch,
-        });
-        self.peak = self.peak.max(self.entries.len());
+        self.blocks.push(block);
+        self.issued_at.push(now);
+        self.ready_at.push(ready_at);
+        self.source.push(source);
+        self.demand_waiting.push(!is_prefetch);
+        self.peak = self.peak.max(self.blocks.len());
         MshrOutcome::Allocated
     }
 
     /// Returns `true` if `block` is outstanding.
     pub fn contains(&self, block: Block) -> bool {
-        self.entries.iter().any(|e| e.block == block)
+        self.find(block).is_some()
     }
 
     /// The completion cycle of an outstanding `block`, if any.
     pub fn ready_at(&self, block: Block) -> Option<u64> {
-        self.entries
-            .iter()
-            .find(|e| e.block == block)
-            .map(|e| e.ready_at)
+        self.find(block).map(|i| self.ready_at[i])
     }
 
     /// Whether the outstanding entry for `block` originated as a
     /// prefetch.
     pub fn is_prefetch(&self, block: Block) -> Option<bool> {
-        self.entries
-            .iter()
-            .find(|e| e.block == block)
-            .map(Entry::is_prefetch)
+        self.find(block).map(|i| self.source[i].is_prefetch())
     }
 
     /// The source tag of the outstanding entry for `block`.
     pub fn source_of(&self, block: Block) -> Option<PfSource> {
-        self.entries
-            .iter()
-            .find(|e| e.block == block)
-            .map(|e| e.source)
+        self.find(block).map(|i| self.source[i])
     }
 
     /// Removes and returns every entry whose fetch has completed by
@@ -157,32 +147,47 @@ impl MshrFile {
     /// can reuse one scratch vector.
     pub fn drain_ready_into(&mut self, now: u64, done: &mut Vec<Completion>) {
         done.clear();
-        self.entries.retain(|e| {
-            if e.ready_at <= now {
+        // In-place compaction across the parallel arrays, preserving
+        // insertion order (so the stable sort below tie-breaks equal
+        // `ready_at` by allocation order, as `Vec::retain` did).
+        let mut w = 0;
+        for r in 0..self.blocks.len() {
+            if self.ready_at[r] <= now {
                 done.push(Completion {
-                    block: e.block,
-                    issued_at: e.issued_at,
-                    ready_at: e.ready_at,
-                    is_prefetch: e.is_prefetch(),
-                    source: e.source,
-                    demand_waiting: e.demand_waiting,
+                    block: self.blocks[r],
+                    issued_at: self.issued_at[r],
+                    ready_at: self.ready_at[r],
+                    is_prefetch: self.source[r].is_prefetch(),
+                    source: self.source[r],
+                    demand_waiting: self.demand_waiting[r],
                 });
-                false
             } else {
-                true
+                if w != r {
+                    self.blocks[w] = self.blocks[r];
+                    self.issued_at[w] = self.issued_at[r];
+                    self.ready_at[w] = self.ready_at[r];
+                    self.source[w] = self.source[r];
+                    self.demand_waiting[w] = self.demand_waiting[r];
+                }
+                w += 1;
             }
-        });
+        }
+        self.blocks.truncate(w);
+        self.issued_at.truncate(w);
+        self.ready_at.truncate(w);
+        self.source.truncate(w);
+        self.demand_waiting.truncate(w);
         done.sort_by_key(|c| c.ready_at);
     }
 
     /// Number of outstanding entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.blocks.len()
     }
 
     /// Whether the file is at capacity.
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.blocks.len() == self.capacity
     }
 
     /// High-water mark of occupancy since creation.

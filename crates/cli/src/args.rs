@@ -59,6 +59,13 @@ OPTIONS:
                          damaged trace instead of failing (default is
                          strict: any corruption is an error, exit 3)
     --quick              For `chaos`: run the reduced smoke campaign
+    --shards <K>         For `run`: slice the measured window into K
+                         time shards simulated concurrently and stitch
+                         the reports (default 1 = sequential; K=1 is
+                         byte-identical to sequential)
+    --warmup-overlap <N> Warm-only instruction prefix replayed before
+                         each shard after the first (default: a quarter
+                         of --warmup)
 ";
 
 /// Parsed command line.
@@ -94,6 +101,11 @@ pub struct Cli {
     pub ops: usize,
     /// `--quick` for `chaos`: reduced smoke campaign.
     pub quick: bool,
+    /// `--shards` for `run`: time shards to slice the window into.
+    pub shards: usize,
+    /// `--warmup-overlap` for `run`: warm-only prefix per shard
+    /// (`None` = a quarter of the warmup window).
+    pub warmup_overlap: Option<u64>,
 }
 
 impl Cli {
@@ -125,6 +137,8 @@ impl Cli {
             lenient: false,
             ops: 10_000,
             quick: false,
+            shards: 1,
+            warmup_overlap: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -172,6 +186,21 @@ impl Cli {
                     if cli.ops == 0 {
                         return Err("--ops must be positive".into());
                     }
+                }
+                "--shards" => {
+                    cli.shards = value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be an integer")?;
+                    if cli.shards == 0 {
+                        return Err("--shards must be positive".into());
+                    }
+                }
+                "--warmup-overlap" => {
+                    cli.warmup_overlap = Some(
+                        value("--warmup-overlap")?
+                            .parse()
+                            .map_err(|_| "--warmup-overlap must be an integer")?,
+                    );
                 }
                 "--json" => cli.json = true,
                 "--lenient" => cli.lenient = true,
@@ -290,6 +319,19 @@ mod tests {
         assert_eq!(cli.seed, 42);
         assert!(cli.quick);
         assert!(!parse(&["chaos"]).unwrap().quick);
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let cli = parse(&["run", "--shards", "4", "--warmup-overlap", "25000"]).unwrap();
+        assert_eq!(cli.shards, 4);
+        assert_eq!(cli.warmup_overlap, Some(25_000));
+        let defaults = parse(&["run"]).unwrap();
+        assert_eq!(defaults.shards, 1);
+        assert_eq!(defaults.warmup_overlap, None);
+        assert!(parse(&["run", "--shards", "0"]).is_err());
+        assert!(parse(&["run", "--shards", "four"]).is_err());
+        assert!(parse(&["run", "--warmup-overlap", "x"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,9 @@ use dcfb_cache::CacheConfig;
 use dcfb_errors::DcfbError;
 use dcfb_frontend::ShotgunBtbConfig;
 use dcfb_sim::Simulator;
-use dcfb_sim::{analysis, run_config, PrefetcherKind, SimConfig, SimReport};
+use dcfb_sim::{
+    analysis, run_config, run_sharded, PrefetcherKind, ShardOptions, SimConfig, SimReport,
+};
 use dcfb_trace::{CodeMemory, InstrStream, IsaMode, ReadMode, RecordedCode, VecTrace};
 use dcfb_workloads::{all_workloads, Walker};
 use std::sync::Arc;
@@ -56,7 +58,26 @@ pub fn run(cli: &Cli) -> Result<(), DcfbError> {
     let cfg = config_for(cli, &cli.method)?;
     let base_cfg = config_for(cli, "Baseline")?;
     let base = run_config(&w, base_cfg, cli.seed);
-    let r = run_config(&w, cfg, cli.seed);
+    let r = if cli.shards > 1 {
+        let image = w.image(cfg.isa);
+        let opts = ShardOptions {
+            shards: cli.shards,
+            warmup_overlap: cli.warmup_overlap,
+            jobs: cli.shards,
+        };
+        let sharded = run_sharded(&cfg, &image, cli.seed, &opts)?;
+        if !cli.json {
+            println!(
+                "sharded: {} shards (requested {}), warmup-overlap {}",
+                sharded.plan.shards.len(),
+                sharded.plan.requested,
+                sharded.plan.overlap
+            );
+        }
+        sharded.merged
+    } else {
+        run_config(&w, cfg, cli.seed)
+    };
     if cli.json {
         println!("{}", report_json(&r, Some(&base)).render());
         return Ok(());
@@ -257,6 +278,17 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         report.telemetry_issued_prefetches,
         report.telemetry_accurate_prefetches
     );
+    println!(
+        "sharded: {} shards (overlap {}) {:.0} instrs/s -> {:.2}x vs sequential, K=1 digest identity: {}",
+        report.shards,
+        report.shard_warmup_overlap,
+        report.single_run_sharded_ips,
+        report.sharded_speedup,
+        report.shard_digest_identity
+    );
+    if !report.jobs_warning.is_empty() {
+        eprintln!("warning: {}", report.jobs_warning);
+    }
     println!("wrote {out}");
     Ok(())
 }

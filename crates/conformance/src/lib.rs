@@ -32,6 +32,7 @@ pub mod invariants;
 pub mod lockstep;
 pub mod ops;
 pub mod reference;
+pub mod shard;
 pub mod shrink;
 
 pub use fuzz::Fuzzer;
@@ -141,8 +142,9 @@ fn invariant_result(name: &str, outcome: Result<String, String>) -> CheckResult 
 }
 
 /// Runs every lockstep harness over `n_ops` freshly fuzzed ops, then
-/// the four cross-prefetcher invariant checks. Everything derives
-/// deterministically from `seed`.
+/// the cross-prefetcher invariant checks, digest parity, and the
+/// sharded-execution parity gate. Everything derives deterministically
+/// from `seed`.
 pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
     let mut checks = Vec::new();
     let mut fz = Fuzzer::new(seed);
@@ -251,6 +253,12 @@ pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
         "digest-parity",
         golden::check_digest_parity(),
     ));
+    // ---- sharded-vs-sequential parity (exact at K=1, tolerance
+    // above; see DESIGN.md "Sharded execution & stitching") ----
+    checks.push(invariant_result(
+        "shard-parity",
+        shard::check_shard_parity(),
+    ));
 
     ConformanceReport {
         seed,
@@ -269,9 +277,10 @@ mod tests {
         let report = run_full_suite(5, 300);
         let rendered = report.render();
         assert!(report.passed(), "conformance suite failed:\n{rendered}");
-        assert_eq!(report.checks.len(), 13);
+        assert_eq!(report.checks.len(), 14);
         assert!(rendered.contains("lockstep/proactive"));
         assert!(rendered.contains("invariant/digest-parity"));
+        assert!(rendered.contains("invariant/shard-parity"));
         assert!(rendered.contains("all checks passed"));
     }
 }

@@ -1,0 +1,202 @@
+//! Sharded-vs-sequential parity: the PR-5-style gate for the sharded
+//! executor in `dcfb_sim::shard`.
+//!
+//! Two tiers, mirroring the digest policy documented in DESIGN.md:
+//!
+//! 1. **Exact** — a one-shard plan replays the sequential instruction
+//!    sequence bit-for-bit, so its merged digest must equal the
+//!    checked-in golden for *every* registry method. (The goldens are
+//!    themselves pinned to the sequential run by `digest-parity`.)
+//! 2. **Tolerance** — with K > 1 the warmup-overlap prefix only
+//!    approximates the history a sequential run carries into each
+//!    slice, so byte-identity is impossible. Instead, the merged
+//!    report's headline counters must match a fresh sequential run
+//!    within the validated per-counter tolerances recorded as
+//!    `# shard-tolerance` lines in `golden_digests.txt`. Measured
+//!    instructions must always merge exactly.
+
+use crate::golden::{
+    fixture_config, fixture_image, fixture_report, goldens, shard_tolerances, FIXTURE_TRACE_SEED,
+};
+use dcfb_sim::{run_sharded, ShardOptions, SimReport};
+use std::fmt::Write as _;
+
+/// Shard count for the tolerance tier.
+const TOLERANCE_SHARDS: usize = 3;
+/// Methods exercised in the tolerance tier — one per driver style plus
+/// a composition (the exact tier covers the whole registry).
+const TOLERANCE_METHODS: [&str; 3] = ["Baseline", "SN4L+Dis+BTB", "Shotgun"];
+
+/// The headline counters the tolerance tier compares. `instrs` is
+/// listed for completeness but is checked exactly, never by tolerance.
+fn counters_of(r: &SimReport) -> [(&'static str, f64); 7] {
+    [
+        ("instrs", r.instrs as f64),
+        ("cycles", r.cycles as f64),
+        ("demand_accesses", r.l1i.demand_accesses as f64),
+        ("demand_misses", r.l1i.demand_misses as f64),
+        ("frontend_stalls", r.frontend_stalls() as f64),
+        ("external_requests", r.external_requests as f64),
+        ("branch_accuracy", r.branch_accuracy),
+    ]
+}
+
+/// Runs both parity tiers over the golden fixture.
+///
+/// Returns `Ok(summary)` when every method passes, `Err(detail)`
+/// naming the offending method/shard (and counter, in the tolerance
+/// tier) otherwise.
+pub fn check_shard_parity() -> Result<String, String> {
+    let image = fixture_image();
+
+    // Tier 1: K=1 must be byte-identical to the checked-in goldens for
+    // every registry method.
+    let mut exact = 0usize;
+    for (method, want) in &goldens()? {
+        let cfg = fixture_config(method)?;
+        let opts = ShardOptions {
+            shards: 1,
+            warmup_overlap: None,
+            jobs: 1,
+        };
+        let run = run_sharded(&cfg, &image, FIXTURE_TRACE_SEED, &opts)
+            .map_err(|e| format!("sharded run failed for {method}: {e}"))?;
+        if run.merged.digest() != *want {
+            return Err(format!(
+                "K=1 sharded digest diverged from the sequential golden \
+                 for {method} (shard 0 of 1)"
+            ));
+        }
+        exact += 1;
+    }
+
+    // Tier 2: K=3 with warmup-overlap, per-counter tolerances.
+    let tolerances = shard_tolerances()?;
+    if tolerances.is_empty() {
+        return Err("no # shard-tolerance lines in golden_digests.txt".to_owned());
+    }
+    let mut checked_counters = 0usize;
+    for method in TOLERANCE_METHODS {
+        let cfg = fixture_config(method)?;
+        let sequential = fixture_report(&image, method, false)?;
+        // The tolerances in golden_digests.txt were calibrated at an
+        // overlap of one full warmup window (60 000 instructions on
+        // this fixture): the measured worst case there is ~23 % on
+        // frontend_stalls (Shotgun) and the recorded bounds carry
+        // roughly 2x margin. Shorter overlaps diverge much more (the
+        // quarter-warmup default reaches ~97 % on the same counter), so
+        // the gate pins this operating point explicitly.
+        let opts = ShardOptions {
+            shards: TOLERANCE_SHARDS,
+            warmup_overlap: Some(cfg.warmup_instrs),
+            jobs: 1,
+        };
+        let run = run_sharded(&cfg, &image, FIXTURE_TRACE_SEED, &opts)
+            .map_err(|e| format!("sharded run failed for {method}: {e}"))?;
+        if run.merged.instrs != sequential.instrs {
+            return Err(format!(
+                "K={TOLERANCE_SHARDS} merged instrs {} != sequential {} for {method} \
+                 (shard slicing must partition the measured window exactly)",
+                run.merged.instrs, sequential.instrs
+            ));
+        }
+        let got = counters_of(&run.merged);
+        let want = counters_of(&sequential);
+        for (counter, rel, abs) in &tolerances {
+            let Some(i) = got.iter().position(|(n, _)| n == counter) else {
+                return Err(format!(
+                    "unknown counter in shard-tolerance line: {counter}"
+                ));
+            };
+            let (g, w) = (got[i].1, want[i].1);
+            let bound = abs + rel * w.abs();
+            if (g - w).abs() > bound {
+                let shard = worst_shard(&run.per_shard);
+                return Err(format!(
+                    "K={TOLERANCE_SHARDS} {counter} diverged for {method}: sharded {g} vs \
+                     sequential {w} exceeds tolerance {bound:.3} \
+                     (largest single-shard contribution: shard {shard})"
+                ));
+            }
+            checked_counters += 1;
+        }
+    }
+
+    let mut summary = String::new();
+    let _ = write!(
+        summary,
+        "{exact} methods byte-identical at K=1; {} methods within \
+         tolerance on {} counters at K={TOLERANCE_SHARDS}",
+        TOLERANCE_METHODS.len(),
+        checked_counters / TOLERANCE_METHODS.len().max(1),
+    );
+    Ok(summary)
+}
+
+/// Index of the shard with the most measured cycles — the best lead
+/// when a tolerance breach needs a per-shard diagnosis.
+fn worst_shard(per_shard: &[SimReport]) -> usize {
+    per_shard
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.cycles)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parity_holds_on_the_fixture() {
+        let summary = check_shard_parity().unwrap_or_else(|e| panic!("{e}"));
+        println!("{summary}");
+        assert!(summary.contains("byte-identical at K=1"));
+    }
+
+    #[test]
+    #[ignore = "calibration probe: prints sharded-vs-sequential deltas"]
+    fn print_shard_divergence() {
+        let image = fixture_image();
+        for method in TOLERANCE_METHODS {
+            let cfg = fixture_config(method).unwrap();
+            let sequential = fixture_report(&image, method, false).unwrap();
+            for ov in [15_000u64, 30_000, 60_000, 120_000] {
+                let opts = ShardOptions {
+                    shards: TOLERANCE_SHARDS,
+                    warmup_overlap: Some(ov),
+                    jobs: 1,
+                };
+                let run = run_sharded(&cfg, &image, FIXTURE_TRACE_SEED, &opts).unwrap();
+                println!("== {method} overlap {ov}");
+                for ((name, g), (_, w)) in counters_of(&run.merged)
+                    .iter()
+                    .zip(counters_of(&sequential).iter())
+                {
+                    let rel = if *w != 0.0 {
+                        (g - w).abs() / w.abs()
+                    } else {
+                        0.0
+                    };
+                    println!("  {name:18} sharded {g:14.3} seq {w:14.3} rel {rel:.5}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tolerances_are_recorded_and_well_formed() {
+        let tols = shard_tolerances().expect("parse");
+        assert!(
+            !tols.is_empty(),
+            "golden_digests.txt must carry # shard-tolerance lines"
+        );
+        for (counter, rel, abs) in tols {
+            assert!(!counter.is_empty());
+            assert!((0.0..1.0).contains(&rel), "suspicious rel for {counter}");
+            assert!(abs >= 0.0, "negative abs for {counter}");
+        }
+    }
+}

@@ -25,8 +25,9 @@ fn full_suite_runs_clean_at_10k_ops() {
         report.render()
     );
     assert_eq!(report.ops_per_structure, OPS);
-    // 8 lockstep harnesses + 4 invariants + digest parity.
-    assert_eq!(report.checks.len(), 13);
+    // 8 lockstep harnesses + 4 invariants + digest parity + shard
+    // parity.
+    assert_eq!(report.checks.len(), 14);
 }
 
 #[test]

@@ -9,7 +9,6 @@
 //! (Table I).
 
 use dcfb_trace::Addr;
-use std::collections::VecDeque;
 
 /// One FTQ entry: a fetch region `[start, end]` (addresses of the first
 /// and last instruction to fetch) plus the address execution continues
@@ -35,10 +34,15 @@ impl FtqEntry {
 }
 
 /// A bounded FIFO of fetch regions, with occupancy statistics.
+///
+/// Backed by a fixed ring arena allocated once at construction, so
+/// pushes, pops, and redirect-clears never touch the heap — the FTQ
+/// sits on the simulator's per-cycle hot path.
 #[derive(Clone, Debug)]
 pub struct Ftq {
-    q: VecDeque<FtqEntry>,
-    capacity: usize,
+    arena: Box<[FtqEntry]>,
+    head: usize,
+    len: usize,
     pushes: u64,
     pops: u64,
     empty_polls: u64,
@@ -53,33 +57,43 @@ impl Ftq {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FTQ capacity must be non-zero");
+        let vacant = FtqEntry {
+            start: 0,
+            end: 0,
+            next: 0,
+        };
         Ftq {
-            q: VecDeque::with_capacity(capacity),
-            capacity,
+            arena: vec![vacant; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             pushes: 0,
             pops: 0,
             empty_polls: 0,
         }
     }
 
+    fn slot(&self, i: usize) -> usize {
+        (self.head + i) % self.arena.len()
+    }
+
     /// Whether another region fits.
     pub fn is_full(&self) -> bool {
-        self.q.len() == self.capacity
+        self.len == self.arena.len()
     }
 
     /// Whether the queue holds no regions.
     pub fn is_empty(&self) -> bool {
-        self.q.is_empty()
+        self.len == 0
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.q.len()
+        self.len
     }
 
     /// Capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.arena.len()
     }
 
     /// Pushes a region; returns `false` (dropping it) when full.
@@ -87,7 +101,9 @@ impl Ftq {
         if self.is_full() {
             return false;
         }
-        self.q.push_back(entry);
+        let tail = self.slot(self.len);
+        self.arena[tail] = entry;
+        self.len += 1;
         self.pushes += 1;
         true
     }
@@ -95,27 +111,28 @@ impl Ftq {
     /// Pops the oldest region; `None` (counted as an empty poll) when
     /// the queue is dry.
     pub fn pop(&mut self) -> Option<FtqEntry> {
-        match self.q.pop_front() {
-            Some(e) => {
-                self.pops += 1;
-                Some(e)
-            }
-            None => {
-                self.empty_polls += 1;
-                None
-            }
+        if self.len == 0 {
+            self.empty_polls += 1;
+            return None;
         }
+        let e = self.arena[self.head];
+        self.head = self.slot(1);
+        self.len -= 1;
+        self.pops += 1;
+        Some(e)
     }
 
     /// Iterates the queued regions oldest-first (used by BTB-directed
     /// prefetchers to scan ahead of fetch).
     pub fn iter(&self) -> impl Iterator<Item = &FtqEntry> {
-        self.q.iter()
+        (0..self.len).map(|i| &self.arena[self.slot(i)])
     }
 
-    /// Clears all regions (pipeline redirect).
+    /// Clears all regions (pipeline redirect). The arena stays
+    /// allocated; only the cursors reset.
     pub fn clear(&mut self) {
-        self.q.clear();
+        self.head = 0;
+        self.len = 0;
     }
 
     /// `(pushes, pops, empty_polls)` counters.
@@ -183,6 +200,21 @@ mod tests {
         f.push(region(0, 4));
         f.clear();
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_without_reordering() {
+        let mut f = Ftq::new(3);
+        // Push/pop enough to wrap the ring several times over.
+        for round in 0u64..10 {
+            assert!(f.push(region(round * 0x100, round * 0x100 + 4)));
+            if round >= 2 {
+                assert_eq!(f.pop().unwrap().start, (round - 2) * 0x100);
+            }
+        }
+        let starts: Vec<Addr> = f.iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![8 * 0x100, 9 * 0x100]);
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

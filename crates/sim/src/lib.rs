@@ -64,6 +64,7 @@ pub mod config;
 pub mod experiment;
 pub mod machine;
 pub mod metrics;
+pub mod shard;
 
 pub use config::{PrefetcherKind, SimConfig};
 pub use experiment::{
@@ -72,3 +73,7 @@ pub use experiment::{
 };
 pub use machine::{RunControl, Simulator};
 pub use metrics::{SimReport, StallKind};
+pub use shard::{
+    merge_reports, plan_shards, record_trace, run_shard, run_sharded, shard_stream, ShardOptions,
+    ShardPlan, ShardSpec, ShardedRun, SliceStream,
+};

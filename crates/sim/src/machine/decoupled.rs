@@ -165,6 +165,23 @@ impl FrontendDriver for DecoupledDriver {
         }
     }
 
+    fn pump_batch(&mut self, m: &mut Machine, resume: u64, pumps: u64) {
+        // Same work as `pump` in a loop, with the prefetcher `Option`
+        // resolved once for the whole stall instead of twice per pump.
+        if let Some(pf) = self.pf.as_deref_mut() {
+            for k in 0..pumps {
+                m.cycle = resume + k + 1;
+                m.drain_fills(Some(&mut *pf));
+                pf.tick(m);
+            }
+        } else {
+            for k in 0..pumps {
+                m.cycle = resume + k + 1;
+                m.drain_fills(None);
+            }
+        }
+    }
+
     fn sample(&self) -> (Option<u64>, Option<(u64, u64)>) {
         (None, self.pf.as_ref().and_then(|p| p.rlu_counters()))
     }

@@ -215,6 +215,16 @@ impl FrontendDriver for DirectedDriver {
         self.engine.advance(m, &mut self.ftq);
     }
 
+    fn pump_batch(&mut self, m: &mut Machine, resume: u64, pumps: u64) {
+        // Same work as `pump` in a loop, dispatched once per stall
+        // instead of once per pump.
+        for k in 0..pumps {
+            m.cycle = resume + k + 1;
+            m.drain_fills(None);
+            self.engine.advance(m, &mut self.ftq);
+        }
+    }
+
     fn sample(&self) -> (Option<u64>, Option<(u64, u64)>) {
         (Some(self.ftq.len() as u64), None)
     }

@@ -113,6 +113,18 @@ pub trait FrontendDriver {
     /// most 16 pumps per stall.
     fn pump(&mut self, m: &mut Machine);
 
+    /// Runs `pumps` background pumps for a stall that began at cycle
+    /// `resume`, advancing `m.cycle` one cycle per pump. Equivalent to
+    /// calling [`pump`](FrontendDriver::pump) in a loop; production
+    /// drivers override it to hoist per-pump dispatch (the prefetcher
+    /// `Option` check, the virtual call itself) out of the stall loop.
+    fn pump_batch(&mut self, m: &mut Machine, resume: u64, pumps: u64) {
+        for k in 0..pumps {
+            m.cycle = resume + k + 1;
+            self.pump(m);
+        }
+    }
+
     /// Telemetry sample: (FTQ occupancy if this driver has an FTQ, RLU
     /// lookup/hit counters if its prefetcher exposes them).
     fn sample(&self) -> (Option<u64>, Option<(u64, u64)>);

@@ -8,7 +8,9 @@ use super::{Machine, RawStats};
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use dcfb_errors::DcfbError;
-use dcfb_telemetry::{CycleSample, RunMeta, StallKind as TelemetryStall, TelemetryReport};
+use dcfb_telemetry::{
+    CycleSample, RunMeta, RunTelemetry, StallKind as TelemetryStall, TelemetryReport,
+};
 use dcfb_trace::{Addr, CodeMemory, Instr, InstrStream};
 use dcfb_workloads::ProgramImage;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +94,14 @@ pub struct Simulator {
     control: Option<RunControl>,
     /// Whether a [`RunControl`] stopped a `run_instrs` loop early.
     interrupted: bool,
+    /// Telemetry sampling stride: the per-cycle sampler runs once
+    /// every this many cycles (1 when telemetry is off or unsampled).
+    telem_stride: u64,
+    /// Cycles since the last telemetry sample; primed to `stride - 1`
+    /// at construction and at the warmup/measure boundary so the first
+    /// cycle of each window is sampled (keeping the recorder's
+    /// cumulative-difference window series exact).
+    telem_phase: u64,
 }
 
 impl Simulator {
@@ -178,6 +188,10 @@ impl Simulator {
         driver: Box<dyn FrontendDriver>,
     ) -> Self {
         let machine = Machine::new(&cfg, code, workload_name);
+        let telem_stride = machine
+            .telem
+            .as_deref()
+            .map_or(1, RunTelemetry::sample_every);
         Simulator {
             cfg,
             machine,
@@ -188,6 +202,8 @@ impl Simulator {
             instrs_base: 0,
             control: None,
             interrupted: false,
+            telem_stride,
+            telem_phase: telem_stride.saturating_sub(1),
         }
     }
 
@@ -263,11 +279,19 @@ impl Simulator {
     }
 
     /// Per-cycle telemetry sample; with telemetry off this is a single
-    /// never-taken branch.
+    /// never-taken branch. With telemetry on, the (comparatively
+    /// expensive) machine/driver state sample is built only once per
+    /// sampling stride; the recorder weights each observation by the
+    /// stride so occupancy statistics still estimate per-cycle totals.
     fn telemetry_tick(&mut self) {
         if self.machine.telem.is_none() {
             return;
         }
+        self.telem_phase += 1;
+        if self.telem_phase < self.telem_stride {
+            return;
+        }
+        self.telem_phase = 0;
         let s = self.cycle_sample();
         if let Some(t) = self.machine.telem.as_deref_mut() {
             t.tick(&s);
@@ -297,6 +321,10 @@ impl Simulator {
         if let Some(t) = self.machine.telem.as_deref_mut() {
             t.reset();
         }
+        // Re-prime the sampler so the first measured cycle is sampled:
+        // the recorder's first post-reset tick re-snaps its cumulative
+        // counters at the measurement-window start.
+        self.telem_phase = self.telem_stride.saturating_sub(1);
         self.instrs_base += self.machine.stats.instrs;
         self.machine.stats = RawStats::default();
         self.machine.l1i.reset_stats();
@@ -482,10 +510,7 @@ impl Simulator {
         // stall, then jump the clock.
         let resume = self.machine.cycle;
         let pumps = span.min(16);
-        for k in 0..pumps {
-            self.machine.cycle = resume + k + 1;
-            self.driver.pump(&mut self.machine);
-        }
+        self.driver.pump_batch(&mut self.machine, resume, pumps);
         self.machine.cycle = until;
     }
 }

@@ -1,0 +1,114 @@
+//! Stitching per-shard [`SimReport`]s into one merged report.
+
+use crate::metrics::SimReport;
+
+/// Merges per-shard reports (in time order) into one report covering
+/// the whole measured window. Returns `None` on an empty slice.
+///
+/// Event counts sum; nested stat blocks accumulate through their
+/// `absorb` methods; branch accuracy becomes the instruction-weighted
+/// mean; metadata storage is a capacity, not an event count, so it
+/// merges as the maximum. A single report merges to an exact clone, so
+/// a one-shard run digests byte-identically to a sequential run.
+pub fn merge_reports(reports: &[SimReport]) -> Option<SimReport> {
+    let (first, rest) = reports.split_first()?;
+    if rest.is_empty() {
+        return Some(first.clone());
+    }
+    let mut merged = first.clone();
+    let mut accuracy_weight = first.branch_accuracy * first.instrs as f64;
+    for r in rest {
+        merged.cycles += r.cycles;
+        merged.instrs += r.instrs;
+        merged.l1i.absorb(&r.l1i);
+        merged.seq_misses += r.seq_misses;
+        merged.disc_misses += r.disc_misses;
+        merged.stall_l1i += r.stall_l1i;
+        merged.stall_btb += r.stall_btb;
+        merged.stall_redirect += r.stall_redirect;
+        merged.stall_empty_ftq += r.stall_empty_ftq;
+        merged.cmal_covered += r.cmal_covered;
+        merged.cmal_total += r.cmal_total;
+        merged.late_prefetches += r.late_prefetches;
+        merged.uncovered_misses += r.uncovered_misses;
+        merged.cache_lookups += r.cache_lookups;
+        merged.external_requests += r.external_requests;
+        merged.uncore.absorb(&r.uncore);
+        merged.btb.absorb(&r.btb);
+        if let (Some(a), Some(b)) = (merged.shotgun_btb.as_mut(), r.shotgun_btb.as_ref()) {
+            a.absorb(b);
+        }
+        if let (Some(a), Some(b)) = (merged.shotgun.as_mut(), r.shotgun.as_ref()) {
+            a.absorb(b);
+        }
+        merged.storage_bits = merged.storage_bits.max(r.storage_bits);
+        accuracy_weight += r.branch_accuracy * r.instrs as f64;
+        merged.dropped_prefetches += r.dropped_prefetches;
+        merged.buffer_hits += r.buffer_hits;
+    }
+    if merged.instrs > 0 {
+        merged.branch_accuracy = accuracy_weight / merged.instrs as f64;
+    }
+    Some(merged)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn shard(cycles: u64, instrs: u64, accuracy: f64) -> SimReport {
+        SimReport {
+            method: "m".to_owned(),
+            workload: "w".to_owned(),
+            cycles,
+            instrs,
+            branch_accuracy: accuracy,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn empty_input_merges_to_none() {
+        assert!(merge_reports(&[]).is_none());
+    }
+
+    #[test]
+    fn single_report_is_an_exact_clone() {
+        let mut r = shard(100, 50, 0.937);
+        r.storage_bits = 1234;
+        r.cmal_covered = 1.5;
+        let merged = merge_reports(std::slice::from_ref(&r)).unwrap();
+        assert_eq!(merged.digest(), r.digest());
+    }
+
+    #[test]
+    fn counters_sum_and_accuracy_weights_by_instrs() {
+        let mut a = shard(1_000, 600, 0.9);
+        a.stall_l1i = 10;
+        a.l1i.demand_misses = 7;
+        a.storage_bits = 100;
+        let mut b = shard(2_000, 400, 0.6);
+        b.stall_l1i = 30;
+        b.l1i.demand_misses = 5;
+        b.storage_bits = 80;
+        let merged = merge_reports(&[a, b]).unwrap();
+        assert_eq!(merged.cycles, 3_000);
+        assert_eq!(merged.instrs, 1_000);
+        assert_eq!(merged.stall_l1i, 40);
+        assert_eq!(merged.l1i.demand_misses, 12);
+        // Capacity, not an event count: max, not sum.
+        assert_eq!(merged.storage_bits, 100);
+        // (0.9 * 600 + 0.6 * 400) / 1000
+        assert!((merged.branch_accuracy - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_come_from_the_first_shard() {
+        let a = shard(1, 1, 1.0);
+        let b = shard(1, 1, 1.0);
+        let merged = merge_reports(&[a, b]).unwrap();
+        assert_eq!(merged.method, "m");
+        assert_eq!(merged.workload, "w");
+    }
+}

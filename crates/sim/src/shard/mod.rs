@@ -1,0 +1,399 @@
+//! Sharded time-slice execution: split one run's measured window into
+//! K contiguous slices, simulate the slices concurrently, and stitch
+//! the per-shard [`SimReport`]s into one merged report.
+//!
+//! The paper's observation — the frontend bottleneck decomposes into
+//! independent categories — applies to the simulator itself: a
+//! trace-driven run decomposes into time slices. The workload's
+//! dynamic stream is recorded once (it is deterministic in the trace
+//! seed), each shard replays its slice behind a warmup-overlap prefix
+//! that warms SeqTable/DisTable/RLU/BTB/predictor state without being
+//! measured, and the per-shard reports merge by summing event counts
+//! (see [`merge_reports`]).
+//!
+//! A one-shard plan replays exactly the sequential instruction
+//! sequence, so `shards = 1` is byte-identical to a sequential run —
+//! the conformance suite pins that for every registry method. With
+//! K > 1 the overlap prefix only approximates the long history a
+//! sequential run carries into each slice, so merged counters differ
+//! within small validated tolerances (recorded next to the exact
+//! goldens in `golden_digests.txt`).
+
+mod merge;
+mod plan;
+
+pub use merge::merge_reports;
+pub use plan::{plan_shards, ShardPlan, ShardSpec};
+
+use crate::config::SimConfig;
+use crate::machine::Simulator;
+use crate::metrics::SimReport;
+use dcfb_errors::DcfbError;
+use dcfb_trace::{Instr, InstrStream};
+use dcfb_workloads::{ProgramImage, Walker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// How a sharded run is split and scheduled.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardOptions {
+    /// Number of time slices to cut the measured window into.
+    pub shards: usize,
+    /// Warmup-overlap prefix for shards after the first; `None` uses a
+    /// quarter of the run's global warmup window.
+    pub warmup_overlap: Option<u64>,
+    /// Worker threads simulating shards concurrently; 0 or 1 runs the
+    /// shards on the calling thread.
+    pub jobs: usize,
+}
+
+impl ShardOptions {
+    /// Options for a `shards`-way run with the default overlap, one
+    /// worker per shard.
+    pub fn new(shards: usize) -> Self {
+        ShardOptions {
+            shards,
+            warmup_overlap: None,
+            jobs: shards,
+        }
+    }
+
+    /// The effective warmup-overlap prefix for a run with the given
+    /// global warmup window.
+    pub fn overlap_for(&self, warmup_instrs: u64) -> u64 {
+        self.warmup_overlap.unwrap_or(warmup_instrs / 4).max(1)
+    }
+}
+
+/// A sharded run's results: the stitched report, the per-shard reports
+/// it was merged from (time order), and the plan that produced them.
+#[derive(Clone, Debug)]
+pub struct ShardedRun {
+    /// The stitched whole-window report.
+    pub merged: SimReport,
+    /// Per-shard reports, in time order.
+    pub per_shard: Vec<SimReport>,
+    /// The slicing that was executed.
+    pub plan: ShardPlan,
+}
+
+/// A replay cursor over a borrowed slice of recorded instructions.
+#[derive(Clone, Debug)]
+pub struct SliceStream<'a> {
+    instrs: &'a [Instr],
+    pos: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// A cursor positioned at the start of `instrs`.
+    pub fn new(instrs: &'a [Instr]) -> Self {
+        SliceStream { instrs, pos: 0 }
+    }
+}
+
+impl InstrStream for SliceStream<'_> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        if i.is_some() {
+            self.pos += 1;
+        }
+        i
+    }
+}
+
+/// Records the first `total` instructions of the workload's dynamic
+/// stream. The walker is deterministic in `trace_seed`, so the
+/// recording equals what a sequential run would consume.
+pub fn record_trace(image: &Arc<ProgramImage>, trace_seed: u64, total: u64) -> Vec<Instr> {
+    let mut walker = Walker::new(Arc::clone(image), trace_seed);
+    let mut instrs = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        match walker.next_instr() {
+            Some(i) => instrs.push(i),
+            None => break,
+        }
+    }
+    instrs
+}
+
+/// The slice of `trace` a shard replays (warmup prefix + measured
+/// window), clamped to the recorded length.
+pub fn shard_stream<'a>(trace: &'a [Instr], spec: &ShardSpec) -> SliceStream<'a> {
+    let start = (spec.start as usize).min(trace.len());
+    let end = (spec.end() as usize).min(trace.len());
+    SliceStream::new(&trace[start..end])
+}
+
+/// Simulates one shard: a fresh machine warmed on `spec.warmup`
+/// instructions from `stream`, then measured for `spec.measure`.
+///
+/// Generic over the stream so callers can interpose fault injection or
+/// trace wrappers (the chaos campaign does).
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] if the shard window fails
+/// [`SimConfig::validate`].
+pub fn run_shard<S: InstrStream>(
+    cfg: &SimConfig,
+    image: &Arc<ProgramImage>,
+    spec: &ShardSpec,
+    stream: &mut S,
+) -> Result<SimReport, DcfbError> {
+    let mut shard_cfg = cfg.clone();
+    shard_cfg.warmup_instrs = spec.warmup;
+    shard_cfg.measure_instrs = spec.measure;
+    let mut sim = Simulator::try_new(shard_cfg, Arc::clone(image))?;
+    Ok(sim.run(stream))
+}
+
+/// Runs `cfg` on `image` sliced into `opts.shards` time shards and
+/// stitches the result.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] for an invalid configuration and
+/// [`DcfbError::Run`] if a shard worker dies without reporting.
+pub fn run_sharded(
+    cfg: &SimConfig,
+    image: &Arc<ProgramImage>,
+    trace_seed: u64,
+    opts: &ShardOptions,
+) -> Result<ShardedRun, DcfbError> {
+    cfg.validate()?;
+    let overlap = opts.overlap_for(cfg.warmup_instrs);
+    let plan = plan_shards(cfg.warmup_instrs, cfg.measure_instrs, opts.shards, overlap);
+    let trace = record_trace(image, trace_seed, plan.trace_instrs());
+    let per_shard = run_planned(cfg, image, &plan, &trace, opts.jobs)?;
+    let merged = merge_reports(&per_shard).ok_or_else(|| run_error(cfg, image, "empty plan"))?;
+    Ok(ShardedRun {
+        merged,
+        per_shard,
+        plan,
+    })
+}
+
+fn run_error(cfg: &SimConfig, image: &Arc<ProgramImage>, message: &str) -> DcfbError {
+    DcfbError::Run {
+        workload: image.params().name.clone(),
+        method: cfg.prefetcher.name().into_owned(),
+        message: message.to_owned(),
+    }
+}
+
+/// Simulates every shard of `plan` over the recorded `trace`, on the
+/// calling thread (`jobs <= 1`) or a scoped worker pool.
+fn run_planned(
+    cfg: &SimConfig,
+    image: &Arc<ProgramImage>,
+    plan: &ShardPlan,
+    trace: &[Instr],
+    jobs: usize,
+) -> Result<Vec<SimReport>, DcfbError> {
+    let n = plan.shards.len();
+    if jobs <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for spec in &plan.shards {
+            let mut stream = shard_stream(trace, spec);
+            out.push(run_shard(cfg, image, spec, &mut stream)?);
+        }
+        return Ok(out);
+    }
+    // The same shape as the bench worker pool: an atomic work index
+    // over the shard list, one slot per shard so results land in time
+    // order regardless of which worker finished first.
+    let slots: Vec<Mutex<Option<Result<SimReport, DcfbError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = &plan.shards[i];
+                let mut stream = shard_stream(trace, spec);
+                let res = run_shard(cfg, image, spec, &mut stream);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(res);
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Ok(Some(res)) => out.push(res?),
+            _ => {
+                return Err(run_error(
+                    cfg,
+                    image,
+                    &format!("shard {i}/{n} worker died without reporting"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_config;
+    use dcfb_workloads::{Workload, WorkloadParams};
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            name: "shard-tiny",
+            params: WorkloadParams {
+                name: "shard-tiny".to_owned(),
+                functions: 40,
+                root_functions: 4,
+                ..WorkloadParams::default()
+            },
+            image_seed: 9,
+        }
+    }
+
+    fn tiny_cfg(method: &str) -> SimConfig {
+        let mut cfg = SimConfig::for_method(method).unwrap();
+        cfg.warmup_instrs = 4_000;
+        cfg.measure_instrs = 12_000;
+        cfg
+    }
+
+    #[test]
+    fn one_shard_is_byte_identical_to_sequential() {
+        for method in ["Baseline", "SN4L+Dis+BTB", "Shotgun"] {
+            let cfg = tiny_cfg(method);
+            let sequential = run_config(&tiny_workload(), cfg.clone(), 7);
+            let image = tiny_workload().image(cfg.isa);
+            let sharded = run_sharded(&cfg, &image, 7, &ShardOptions::new(1)).unwrap();
+            assert_eq!(
+                sharded.merged.digest(),
+                sequential.digest(),
+                "K=1 shard diverged from sequential for {method}"
+            );
+            assert_eq!(sharded.per_shard.len(), 1);
+        }
+    }
+
+    #[test]
+    fn recorded_trace_matches_walker_consumption() {
+        let cfg = tiny_cfg("Baseline");
+        let image = tiny_workload().image(cfg.isa);
+        let trace = record_trace(&image, 7, 16_000);
+        assert_eq!(trace.len(), 16_000);
+        // Replaying the recording reproduces the sequential run.
+        let plan = plan_shards(4_000, 12_000, 1, 1_000);
+        let mut stream = shard_stream(&trace, &plan.shards[0]);
+        let replayed = run_shard(&cfg, &image, &plan.shards[0], &mut stream).unwrap();
+        let sequential = run_config(&tiny_workload(), cfg, 7);
+        assert_eq!(replayed.digest(), sequential.digest());
+    }
+
+    #[test]
+    fn sharded_run_measures_the_exact_window() {
+        let cfg = tiny_cfg("SN4L+Dis+BTB");
+        let image = tiny_workload().image(cfg.isa);
+        for k in [2usize, 3, 5] {
+            let run = run_sharded(&cfg, &image, 7, &ShardOptions::new(k)).unwrap();
+            assert_eq!(run.per_shard.len(), k);
+            assert_eq!(run.merged.instrs, cfg.measure_instrs);
+            let measured: u64 = run.per_shard.iter().map(|r| r.instrs).sum();
+            assert_eq!(measured, cfg.measure_instrs);
+            assert!(run.merged.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_across_job_counts() {
+        let cfg = tiny_cfg("Shotgun");
+        let image = tiny_workload().image(cfg.isa);
+        let serial = run_sharded(
+            &cfg,
+            &image,
+            7,
+            &ShardOptions {
+                shards: 4,
+                warmup_overlap: Some(2_000),
+                jobs: 1,
+            },
+        )
+        .unwrap();
+        let parallel = run_sharded(
+            &cfg,
+            &image,
+            7,
+            &ShardOptions {
+                shards: 4,
+                warmup_overlap: Some(2_000),
+                jobs: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.merged.digest(), parallel.merged.digest());
+    }
+
+    #[test]
+    fn more_shards_than_instructions_degenerates_cleanly() {
+        let mut cfg = tiny_cfg("Baseline");
+        cfg.measure_instrs = 5;
+        let image = tiny_workload().image(cfg.isa);
+        let run = run_sharded(&cfg, &image, 7, &ShardOptions::new(64)).unwrap();
+        assert_eq!(run.per_shard.len(), 5);
+        assert_eq!(run.merged.instrs, 5);
+    }
+
+    #[test]
+    fn overlap_longer_than_a_shard_still_measures_exactly() {
+        let cfg = tiny_cfg("SN4L+Dis+BTB");
+        let image = tiny_workload().image(cfg.isa);
+        let run = run_sharded(
+            &cfg,
+            &image,
+            7,
+            &ShardOptions {
+                shards: 6,
+                // Far longer than the 2 000-instruction slices.
+                warmup_overlap: Some(50_000),
+                jobs: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(run.merged.instrs, cfg.measure_instrs);
+        // Every later shard warmed on the whole preceding trace.
+        for s in &run.plan.shards[1..] {
+            assert_eq!(s.start, 0);
+        }
+    }
+
+    #[test]
+    fn shard_boundary_mid_discontinuity_chain_keeps_counts_exact() {
+        // Cut the window at every offset in a short span: wherever the
+        // boundary lands relative to call/return chains, the stitched
+        // report must measure the exact window with sane counters.
+        let mut cfg = tiny_cfg("SN4L+Dis+BTB");
+        let image = tiny_workload().image(cfg.isa);
+        for measure in 11_997..12_003 {
+            cfg.measure_instrs = measure;
+            let run = run_sharded(
+                &cfg,
+                &image,
+                7,
+                &ShardOptions {
+                    shards: 3,
+                    warmup_overlap: Some(1_500),
+                    jobs: 1,
+                },
+            )
+            .unwrap();
+            assert_eq!(run.merged.instrs, measure);
+            let total = run.merged.seq_misses + run.merged.disc_misses;
+            assert!(total >= run.merged.l1i.demand_misses);
+        }
+    }
+}

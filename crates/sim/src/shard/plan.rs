@@ -1,0 +1,194 @@
+//! Shard planning: slicing one measurement window into K contiguous
+//! time slices, each with a warmup-overlap prefix.
+//!
+//! The measured window of `measure` instructions is cut into K
+//! contiguous slices (the first `measure % K` slices get one extra
+//! instruction). Shard 0 keeps the run's full global warmup, so a
+//! single-shard plan consumes exactly the same instruction sequence as
+//! a sequential run. Every later shard is given a warmup-overlap
+//! prefix: up to `overlap` instructions taken from the trace
+//! immediately before its slice, replayed to warm SeqTable/DisTable/
+//! RLU/BTB/predictor state but excluded from measurement. The prefix
+//! is clamped to the instructions that actually precede the slice, so
+//! an overlap longer than a shard (or longer than the whole preceding
+//! trace) degrades gracefully to "warm on everything before me".
+
+/// One contiguous slice of a recorded trace: `warmup` warm-only
+/// instructions starting at trace offset `start`, followed by
+/// `measure` measured instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position of this shard in the plan (0-based, time order).
+    pub index: usize,
+    /// Offset into the recorded trace where this shard's stream begins
+    /// (the first warmup instruction).
+    pub start: u64,
+    /// Warm-only prefix instructions (excluded from measurement).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+}
+
+impl ShardSpec {
+    /// Total instructions this shard consumes from the trace.
+    pub fn total_instrs(&self) -> u64 {
+        self.warmup + self.measure
+    }
+
+    /// Exclusive end offset of this shard's stream in the trace.
+    pub fn end(&self) -> u64 {
+        self.start + self.total_instrs()
+    }
+}
+
+/// A complete slicing of one run into shards.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// The shards, in time order. Degenerate (zero-measure) slices are
+    /// dropped, so this can be shorter than `requested`.
+    pub shards: Vec<ShardSpec>,
+    /// The run's global warmup window.
+    pub warmup: u64,
+    /// The run's global measurement window.
+    pub measure: u64,
+    /// Shard count the caller asked for.
+    pub requested: usize,
+    /// Warmup-overlap prefix length applied to shards after the first.
+    pub overlap: u64,
+}
+
+impl ShardPlan {
+    /// Trace length (instructions) the plan replays: global warmup plus
+    /// the measured window. Every shard's stream lies inside it.
+    pub fn trace_instrs(&self) -> u64 {
+        self.warmup + self.measure
+    }
+}
+
+/// Plans a `shards`-way slicing of a `warmup`+`measure` run with the
+/// given warmup-`overlap` prefix for shards after the first.
+///
+/// `shards == 0` is treated as 1. When `measure < shards` the surplus
+/// slices would measure nothing; they are dropped rather than planned
+/// (a shard must measure at least one instruction), so K greater than
+/// the trace length degenerates to one shard per instruction.
+pub fn plan_shards(warmup: u64, measure: u64, shards: usize, overlap: u64) -> ShardPlan {
+    let requested = shards.max(1);
+    let k = requested as u64;
+    let base = measure / k;
+    let rem = measure % k;
+    let mut specs = Vec::with_capacity(requested.min(measure.max(1) as usize));
+    // Cumulative measured instructions handed to earlier shards; shard
+    // i's slice starts at trace offset `warmup + consumed`.
+    let mut consumed = 0u64;
+    for i in 0..requested {
+        let len = base + u64::from((i as u64) < rem);
+        if len == 0 {
+            continue;
+        }
+        let spec = if specs.is_empty() {
+            // The first shard replays the run's global warmup so a
+            // single-shard plan is instruction-for-instruction the
+            // sequential run.
+            ShardSpec {
+                index: 0,
+                start: 0,
+                warmup,
+                measure: len,
+            }
+        } else {
+            // Later shards warm on up to `overlap` instructions taken
+            // from immediately before their slice; at least one so the
+            // simulator's non-empty-warmup invariant holds, at most
+            // everything that precedes the slice.
+            let preceding = warmup + consumed;
+            let warm = overlap.max(1).min(preceding);
+            ShardSpec {
+                index: specs.len(),
+                start: preceding - warm,
+                warmup: warm,
+                measure: len,
+            }
+        };
+        specs.push(spec);
+        consumed += len;
+    }
+    ShardPlan {
+        shards: specs,
+        warmup,
+        measure,
+        requested,
+        overlap,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_matches_sequential_window() {
+        let plan = plan_shards(1_000, 4_000, 1, 250);
+        assert_eq!(plan.shards.len(), 1);
+        let s = plan.shards[0];
+        assert_eq!(s.start, 0);
+        assert_eq!(s.warmup, 1_000);
+        assert_eq!(s.measure, 4_000);
+        assert_eq!(s.end(), plan.trace_instrs());
+    }
+
+    #[test]
+    fn slices_are_contiguous_and_cover_the_window() {
+        let plan = plan_shards(1_000, 10_001, 4, 300);
+        assert_eq!(plan.shards.len(), 4);
+        let mut measured = 0;
+        for (i, s) in plan.shards.iter().enumerate() {
+            assert_eq!(s.index, i);
+            // Slice begins exactly where the previous one ended.
+            assert_eq!(s.start + s.warmup, plan.warmup + measured);
+            assert!(s.end() <= plan.trace_instrs());
+            measured += s.measure;
+        }
+        assert_eq!(measured, 10_001);
+        // First remainder shard got the extra instruction.
+        assert_eq!(plan.shards[0].measure, 2_501);
+        assert_eq!(plan.shards[3].measure, 2_500);
+        // Later shards warm on exactly the requested overlap.
+        assert_eq!(plan.shards[1].warmup, 300);
+    }
+
+    #[test]
+    fn more_shards_than_instructions_drops_empty_slices() {
+        let plan = plan_shards(50, 3, 8, 10);
+        assert_eq!(plan.requested, 8);
+        assert_eq!(plan.shards.len(), 3);
+        for s in &plan.shards {
+            assert_eq!(s.measure, 1);
+        }
+    }
+
+    #[test]
+    fn overlap_longer_than_preceding_trace_is_clamped() {
+        let plan = plan_shards(100, 1_000, 4, 1_000_000);
+        for s in &plan.shards[1..] {
+            // Clamped to everything before the slice: starts at 0.
+            assert_eq!(s.start, 0);
+            assert_eq!(s.warmup + s.measure, s.end());
+        }
+        assert_eq!(plan.shards[1].warmup, 100 + 250);
+    }
+
+    #[test]
+    fn zero_overlap_still_warms_one_instruction() {
+        let plan = plan_shards(500, 400, 2, 0);
+        assert_eq!(plan.shards[1].warmup, 1);
+    }
+
+    #[test]
+    fn zero_shards_is_one() {
+        let plan = plan_shards(10, 20, 0, 5);
+        assert_eq!(plan.requested, 1);
+        assert_eq!(plan.shards.len(), 1);
+    }
+}

@@ -82,6 +82,15 @@ impl Log2Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Records `n` identical samples in one O(1) batched update (the
+    /// sampled-telemetry path weights each observation by its sampling
+    /// stride).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.buckets[bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -155,6 +164,11 @@ impl HistSet {
     /// Records one sample into histogram `h`.
     pub fn record(&mut self, h: Hist, value: u64) {
         self.hists[h as usize].record(value);
+    }
+
+    /// Records `n` identical samples into histogram `h` in O(1).
+    pub fn record_n(&mut self, h: Hist, value: u64, n: u64) {
+        self.hists[h as usize].record_n(value, n);
     }
 
     /// Read access to histogram `h`.

@@ -27,6 +27,15 @@ pub struct TelemetryConfig {
     pub max_trace_events: usize,
     /// Early-evicted FIFO window size (per tracker).
     pub evicted_window: usize,
+    /// Occupancy sampling stride: the per-cycle sampler calls
+    /// [`RunTelemetry::tick`] once every `sample_every` cycles, and the
+    /// recorder weights each observation by the stride so histogram
+    /// counts and occupancy sums still estimate per-cycle totals.
+    /// Window series stay *exact* regardless (they difference
+    /// cumulative counters at window boundaries, which telescope), as
+    /// do lifecycle counters and stall spans, which are recorded
+    /// per-event, not per-cycle. 1 disables sampling.
+    pub sample_every: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -36,6 +45,7 @@ impl Default for TelemetryConfig {
             series_capacity: 512,
             max_trace_events: 50_000,
             evicted_window: 4096,
+            sample_every: 16,
         }
     }
 }
@@ -160,14 +170,25 @@ impl RunTelemetry {
         }
     }
 
-    /// Per-cycle sample: occupancy histograms plus window rollover.
+    /// The configured sampling stride (see
+    /// [`TelemetryConfig::sample_every`]); callers tick once every this
+    /// many cycles.
+    pub fn sample_every(&self) -> u64 {
+        self.cfg.sample_every.max(1)
+    }
+
+    /// Sampled-cycle observation: occupancy histograms plus window
+    /// rollover. Call once every [`RunTelemetry::sample_every`] cycles;
+    /// each observation is weighted by the stride.
     pub fn tick(&mut self, s: &CycleSample) {
+        let weight = self.sample_every();
         if let Some(occ) = s.ftq_occupancy {
-            self.hists.record(Hist::FtqOccupancy, occ);
-            self.ftq_occ_sum += occ;
-            self.ftq_samples += 1;
+            self.hists.record_n(Hist::FtqOccupancy, occ, weight);
+            self.ftq_occ_sum += occ * weight;
+            self.ftq_samples += weight;
         }
-        self.hists.record(Hist::MshrOccupancy, s.mshr_occupancy);
+        self.hists
+            .record_n(Hist::MshrOccupancy, s.mshr_occupancy, weight);
         if !self.started {
             self.started = true;
             self.window_start = s.cycle;
