@@ -207,6 +207,29 @@ pub struct BenchSweepReport {
     /// one worker: speedups in this report then understate what a
     /// multi-core host would measure.
     pub jobs_warning: String,
+    /// Jobs submitted to the in-process `dcfb serve` instance during
+    /// the served-mix pass (repeat submissions included).
+    pub serve_submit_jobs: u64,
+    /// Fraction of those submissions answered from the memoized result
+    /// cache (the mix replays every unique job once, so this is ~0.5
+    /// by construction).
+    pub serve_cache_hit_frac: f64,
+    /// Served throughput of the mix: submissions resolved per second,
+    /// end to end through the HTTP protocol, queue, and worker pool.
+    pub serve_jobs_per_sec: f64,
+}
+
+/// The served-job-mix measurement recorded in schema v5. Produced by
+/// `dcfb-serve::measure_serve_mix` (the bench crate defines only the
+/// shape, to keep the dependency arrow pointing serve → bench).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeMixMeasurement {
+    /// Jobs submitted (repeat submissions included).
+    pub submit_jobs: u64,
+    /// Fraction of submissions answered from the result cache.
+    pub cache_hit_frac: f64,
+    /// Submissions resolved per wall-clock second.
+    pub jobs_per_sec: f64,
 }
 
 /// Schema tag for `BENCH_sweep.json`.
@@ -218,8 +241,10 @@ pub struct BenchSweepReport {
 /// (`telemetry_overhead_measurement`: on-path vs off-path). v4 adds the
 /// sharded-executor timing (`shards`, `shard_warmup_overlap`,
 /// `single_run_sharded_ips`, `sharded_speedup`, `shard_digest_identity`)
-/// and the single-worker `jobs_warning`.
-pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v4";
+/// and the single-worker `jobs_warning`. v5 adds the served-job-mix
+/// measurement through `dcfb serve` (`serve_submit_jobs`,
+/// `serve_cache_hit_frac`, `serve_jobs_per_sec`).
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v5";
 
 /// `telemetry_overhead_measurement` value for the measurement this
 /// crate performs: the telemetry-enabled run is timed with per-cycle
@@ -235,13 +260,19 @@ fn sweep_config(method: &str, opts: &SweepOptions) -> Result<SimConfig, DcfbErro
 
 /// Runs the timed sweep: one sequential pass, one parallel pass at
 /// `opts.jobs`, plus two single-run throughput timings. Both passes
-/// execute the identical `(workload, method)` cross product.
+/// execute the identical `(workload, method)` cross product. The
+/// served-mix numbers (`serve`) are measured by the caller through an
+/// in-process `dcfb serve` instance (the serve crate sits above this
+/// one) and recorded verbatim.
 ///
 /// # Errors
 ///
 /// Returns [`DcfbError::UnknownMethod`] for a bad method name in
 /// `opts.methods`.
-pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbError> {
+pub fn run_bench_sweep(
+    opts: &SweepOptions,
+    serve: &ServeMixMeasurement,
+) -> Result<BenchSweepReport, DcfbError> {
     let ws = workloads();
     let mut pairs: Vec<(Workload, SimConfig)> = Vec::new();
     for m in &opts.methods {
@@ -381,6 +412,9 @@ pub fn run_bench_sweep(opts: &SweepOptions) -> Result<BenchSweepReport, DcfbErro
         sharded_speedup,
         shard_digest_identity,
         jobs_warning,
+        serve_submit_jobs: serve.submit_jobs,
+        serve_cache_hit_frac: serve.cache_hit_frac,
+        serve_jobs_per_sec: serve.jobs_per_sec,
     })
 }
 
@@ -467,7 +501,22 @@ impl BenchSweepReport {
             self.shard_digest_identity.to_string(),
             false,
         );
-        put("jobs_warning", format!("\"{}\"", self.jobs_warning), true);
+        put("jobs_warning", format!("\"{}\"", self.jobs_warning), false);
+        put(
+            "serve_submit_jobs",
+            self.serve_submit_jobs.to_string(),
+            false,
+        );
+        put(
+            "serve_cache_hit_frac",
+            format_f64(self.serve_cache_hit_frac),
+            false,
+        );
+        put(
+            "serve_jobs_per_sec",
+            format_f64(self.serve_jobs_per_sec),
+            true,
+        );
         out.push_str("}\n");
         out
     }
@@ -551,6 +600,9 @@ impl BenchSweepReport {
             sharded_speedup: f64_field("sharded_speedup")?,
             shard_digest_identity: bool_field("shard_digest_identity")?,
             jobs_warning: string_field("jobs_warning")?,
+            serve_submit_jobs: u64_field("serve_submit_jobs")?,
+            serve_cache_hit_frac: f64_field("serve_cache_hit_frac")?,
+            serve_jobs_per_sec: f64_field("serve_jobs_per_sec")?,
         })
     }
 
@@ -647,6 +699,17 @@ impl BenchSweepReport {
         }
         if (self.jobs == 1) == self.jobs_warning.is_empty() {
             return fail("jobs_warning must be non-empty exactly when jobs == 1");
+        }
+        if self.serve_submit_jobs < 1 {
+            return fail("serve_submit_jobs must be >= 1");
+        }
+        if !self.serve_cache_hit_frac.is_finite()
+            || !(0.0..=1.0).contains(&self.serve_cache_hit_frac)
+        {
+            return fail("serve_cache_hit_frac must lie in [0, 1]");
+        }
+        if !ips_ok(self.serve_jobs_per_sec) {
+            return fail("serve_jobs_per_sec must be positive");
         }
         Ok(())
     }
@@ -833,6 +896,21 @@ mod tests {
         assert!(jobs() >= 1);
     }
 
+    #[test]
+    fn jobs_defaults_to_host_parallelism_when_env_unset() {
+        // Pin the satellite behaviour: with DCFB_JOBS absent, the
+        // worker count is the host's available parallelism, not 1.
+        // Guarded because the test harness may legitimately run with
+        // the variable exported.
+        if std::env::var_os(JOBS_ENV).is_some() {
+            return;
+        }
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(jobs(), host);
+    }
+
     fn sample_report() -> BenchSweepReport {
         BenchSweepReport {
             schema: BENCH_SWEEP_SCHEMA.to_owned(),
@@ -861,6 +939,9 @@ mod tests {
             sharded_speedup: 3.3e6 / 1.1e6,
             shard_digest_identity: true,
             jobs_warning: String::new(),
+            serve_submit_jobs: 16,
+            serve_cache_hit_frac: 0.5,
+            serve_jobs_per_sec: 12.5,
         }
     }
 
@@ -940,6 +1021,20 @@ mod tests {
         r.jobs_warning = "jobs == 1: speedups understate multi-core hosts".into();
         assert!(r.validate().is_ok());
         r.jobs = 4;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.serve_submit_jobs = 0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.serve_cache_hit_frac = 1.5;
+        assert!(r.validate().is_err());
+        r.serve_cache_hit_frac = f64::NAN;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.serve_jobs_per_sec = 0.0;
         assert!(r.validate().is_err());
     }
 

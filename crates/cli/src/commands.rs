@@ -57,15 +57,20 @@ pub fn run(cli: &Cli) -> Result<(), DcfbError> {
     let w = cli.require_workload()?;
     let cfg = config_for(cli, &cli.method)?;
     let base_cfg = config_for(cli, "Baseline")?;
+    // Shard arguments are range-checked here, at argument time, so
+    // `--shards 0` or an overlap reaching past the measured window is
+    // a typed configuration error (exit 3) even on paths that would
+    // otherwise silently fall back to a sequential run.
+    let shard_opts = ShardOptions {
+        shards: cli.shards,
+        warmup_overlap: cli.warmup_overlap,
+        jobs: cli.shards,
+    };
+    shard_opts.validate(cfg.warmup_instrs)?;
     let base = run_config(&w, base_cfg, cli.seed);
     let r = if cli.shards > 1 {
         let image = w.image(cfg.isa);
-        let opts = ShardOptions {
-            shards: cli.shards,
-            warmup_overlap: cli.warmup_overlap,
-            jobs: cli.shards,
-        };
-        let sharded = run_sharded(&cfg, &image, cli.seed, &opts)?;
+        let sharded = run_sharded(&cfg, &image, cli.seed, &shard_opts)?;
         if !cli.json {
             println!(
                 "sharded: {} shards (requested {}), warmup-overlap {}",
@@ -253,7 +258,9 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         opts.measure,
         opts.jobs
     );
-    let report = dcfb_bench::run_bench_sweep(&opts)?;
+    eprintln!("bench-sweep: measuring the served job mix through dcfb serve");
+    let serve_mix = dcfb_serve::measure_serve_mix(opts.warmup, opts.measure)?;
+    let report = dcfb_bench::run_bench_sweep(&opts, &serve_mix)?;
     report.validate()?;
     let out = cli.out.as_deref().unwrap_or("BENCH_sweep.json");
     std::fs::write(out, report.to_json()).map_err(|e| DcfbError::io(out, &e))?;
@@ -286,10 +293,46 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         report.sharded_speedup,
         report.shard_digest_identity
     );
+    println!(
+        "served mix: {} submissions, {:.0}% cache hits, {:.1} jobs/s through dcfb serve",
+        report.serve_submit_jobs,
+        report.serve_cache_hit_frac * 100.0,
+        report.serve_jobs_per_sec
+    );
     if !report.jobs_warning.is_empty() {
         eprintln!("warning: {}", report.jobs_warning);
     }
     println!("wrote {out}");
+    Ok(())
+}
+
+/// `dcfb serve` — the long-lived simulation job server. Binds the
+/// requested address, prints the bound address (port 0 resolves to an
+/// ephemeral port), and serves until a `POST /v1/shutdown` arrives.
+pub fn serve(cli: &Cli) -> Result<(), DcfbError> {
+    let Some(addr) = &cli.addr else {
+        return Err(DcfbError::Usage(
+            "--addr HOST:PORT is required for serve (port 0 picks an ephemeral port)".into(),
+        ));
+    };
+    let opts = dcfb_serve::ServeOptions {
+        addr: addr.clone(),
+        state_path: cli.state.as_ref().map(std::path::PathBuf::from),
+        workers: cli.workers,
+        queue_limit: cli.queue_limit,
+        cache_budget: cli.cache_budget,
+        ..dcfb_serve::ServeOptions::default()
+    };
+    let mut server = dcfb_serve::Server::spawn(opts)?;
+    println!("dcfb serve: listening on {}", server.local_addr());
+    if let Some(state) = &cli.state {
+        println!("dcfb serve: persisting job state to {state}");
+    }
+    server.wait();
+    println!(
+        "dcfb serve: shut down after {} executed job(s)",
+        server.executed()
+    );
     Ok(())
 }
 

@@ -12,6 +12,7 @@
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! dcfb conformance [--seed N] [--ops N]
 //! dcfb chaos    [--seed N] [--quick]
+//! dcfb serve    --addr 127.0.0.1:7070 [--state jobs.json] [--workers N]
 //! ```
 //!
 //! Common options: `--warmup N`, `--measure N`, `--seed N`,
@@ -21,7 +22,8 @@
 //! backtrace — and exits with a code describing what went wrong:
 //! 2 usage, 3 bad input (corrupt trace, unknown workload/method, bad
 //! config), 4 run failure, 5 host I/O, 6 supervised job timeout,
-//! 7 job quarantined.
+//! 7 job quarantined, 8 protocol error (serve/SDK transport or a
+//! rejected request).
 
 mod args;
 mod commands;
@@ -54,6 +56,7 @@ fn main() {
         "replay" => commands::replay(&cli),
         "conformance" => commands::conformance(&cli),
         "chaos" => commands::chaos(&cli),
+        "serve" => commands::serve(&cli),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

@@ -1,0 +1,99 @@
+//! End-to-end contract for the serve-era argument handling: shard
+//! range violations are typed configuration errors (exit 3, not a
+//! usage error and not a panic), `serve` without an address is a usage
+//! error (exit 2), and the exit codes match the documented table.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::process::{Command, Output};
+
+fn dcfb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dcfb"))
+        .args(args)
+        .output()
+        .expect("spawn dcfb")
+}
+
+#[test]
+fn zero_shards_is_a_typed_config_error() {
+    let out = dcfb(&[
+        "run",
+        "--workload",
+        "Web Search",
+        "--warmup",
+        "1000",
+        "--measure",
+        "2000",
+        "--shards",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "exit 3 = invalid configuration");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid configuration") && stderr.contains("--shards"),
+        "want a typed config diagnostic, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn overlap_past_the_warmup_window_is_a_typed_config_error() {
+    let out = dcfb(&[
+        "run",
+        "--workload",
+        "Web Search",
+        "--warmup",
+        "1000",
+        "--measure",
+        "2000",
+        "--shards",
+        "2",
+        "--warmup-overlap",
+        "1001",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "exit 3 = invalid configuration");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid configuration") && stderr.contains("--warmup-overlap"),
+        "want a typed config diagnostic, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn full_warmup_overlap_stays_valid() {
+    // overlap == warmup is the conformance operating point, not an
+    // error: every later shard warms on the full prefix.
+    let out = dcfb(&[
+        "run",
+        "--workload",
+        "Web Search",
+        "--warmup",
+        "1000",
+        "--measure",
+        "2000",
+        "--shards",
+        "2",
+        "--warmup-overlap",
+        "1000",
+    ]);
+    assert!(
+        out.status.success(),
+        "full-warmup overlap must run:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_without_addr_is_a_usage_error() {
+    let out = dcfb(&["serve"]);
+    assert_eq!(out.status.code(), Some(2), "exit 2 = usage");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--addr"), "got:\n{stderr}");
+}
+
+#[test]
+fn unparseable_shards_is_still_a_usage_error() {
+    // Non-integer values never reach the typed validation; they are
+    // malformed arguments.
+    let out = dcfb(&["run", "--shards", "three"]);
+    assert_eq!(out.status.code(), Some(2));
+}

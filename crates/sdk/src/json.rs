@@ -1,0 +1,437 @@
+//! Minimal flat-JSON reader/writer for the dcfb wire protocol.
+//!
+//! Every message on the wire is one JSON object whose values are
+//! strings, unsigned integers, floats, booleans, or null — no nesting,
+//! no arrays. Structured payloads (a rendered `SimReport`) travel as
+//! escaped strings inside such an object, the same convention the
+//! bench checkpoint format uses. The reader is strict: trailing
+//! garbage, duplicate syntax errors, and unterminated strings are
+//! [`DcfbError::Protocol`] — a malformed peer must never panic this
+//! side of the connection.
+
+use dcfb_errors::DcfbError;
+
+/// One value in a flat wire object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A (fully unescaped) string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (any number with a `.`, exponent, or sign).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::F64(x) => Some(*x),
+            JsonValue::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat object: `(key, value)` pairs in document order.
+pub type JsonObject = Vec<(String, JsonValue)>;
+
+/// Looks up `key` in a parsed object (first occurrence).
+pub fn get<'a>(obj: &'a JsonObject, key: &str) -> Option<&'a JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Required string field, or a protocol error naming the key.
+pub fn want_str(obj: &JsonObject, key: &str) -> Result<String, DcfbError> {
+    get(obj, key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| DcfbError::protocol(format!("missing string field {key:?}")))
+}
+
+/// Required unsigned-integer field, or a protocol error naming the key.
+pub fn want_u64(obj: &JsonObject, key: &str) -> Result<u64, DcfbError> {
+    get(obj, key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| DcfbError::protocol(format!("missing integer field {key:?}")))
+}
+
+/// Optional boolean field, defaulting to `false`.
+pub fn opt_bool(obj: &JsonObject, key: &str) -> bool {
+    get(obj, key).and_then(JsonValue::as_bool).unwrap_or(false)
+}
+
+/// Optional unsigned-integer field, defaulting to zero.
+pub fn opt_u64(obj: &JsonObject, key: &str) -> u64 {
+    get(obj, key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Optional string field; `None` when absent or null.
+pub fn opt_str(obj: &JsonObject, key: &str) -> Option<String> {
+    get(obj, key).and_then(JsonValue::as_str).map(str::to_owned)
+}
+
+/// Parses one flat JSON object from `text`.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Protocol`] describing the first syntax problem.
+pub fn parse_object(text: &str) -> Result<JsonObject, DcfbError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut obj = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            obj.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(p.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after object"));
+    }
+    Ok(obj)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> DcfbError {
+        DcfbError::protocol(format!("bad JSON at byte {}: {message}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), DcfbError> {
+        if self.next() == Some(want) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", want as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, DcfbError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, DcfbError> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, DcfbError> {
+        let start = self.pos;
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' => fractional = true,
+                b'-' if self.pos == start => {}
+                b'-' => fractional = true, // exponent sign
+                _ => break,
+            }
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        if fractional || text.starts_with('-') {
+            text.parse::<f64>()
+                .map(JsonValue::F64)
+                .map_err(|_| self.err("malformed number"))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::U64)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DcfbError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let end = self.pos + 4;
+                        let hex = self
+                            .bytes
+                            .get(self.pos..end)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| self.err("truncated \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos = end;
+                        // Surrogates map to the replacement character;
+                        // the writer never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("bad UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+/// Appends `s` to `buf` as a quoted, escaped JSON string.
+pub fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\t' => buf.push_str("\\t"),
+            '\r' => buf.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Builds one flat JSON object field by field.
+#[derive(Debug)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        ObjectWriter::new()
+    }
+}
+
+impl ObjectWriter {
+    /// An empty object (`{`).
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (`NaN`/infinities render as `null`).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:.6}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the rendered text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_value_kind() {
+        let mut w = ObjectWriter::new();
+        w.str_field("s", "a \"quoted\"\nline\\")
+            .u64_field("n", u64::MAX)
+            .f64_field("x", 0.25)
+            .bool_field("b", true)
+            .bool_field("c", false);
+        let text = w.finish();
+        let obj = parse_object(&text).unwrap();
+        assert_eq!(want_str(&obj, "s").unwrap(), "a \"quoted\"\nline\\");
+        assert_eq!(want_u64(&obj, "n").unwrap(), u64::MAX);
+        assert_eq!(get(&obj, "x").unwrap().as_f64().unwrap(), 0.25);
+        assert!(opt_bool(&obj, "b"));
+        assert!(!opt_bool(&obj, "c"));
+        assert!(!opt_bool(&obj, "missing"));
+    }
+
+    #[test]
+    fn parses_null_unicode_and_empty() {
+        let obj = parse_object(r#"{"a": null, "u": "Aé", "e": ""}"#).unwrap();
+        assert_eq!(get(&obj, "a"), Some(&JsonValue::Null));
+        assert_eq!(want_str(&obj, "u").unwrap(), "Aé");
+        assert_eq!(want_str(&obj, "e").unwrap(), "");
+        assert!(parse_object("{}").unwrap().is_empty());
+        let mut w = ObjectWriter::new();
+        w.str_field("k", "héllo → wörld");
+        let non_ascii = w.finish();
+        let back = parse_object(&non_ascii).unwrap();
+        assert_eq!(want_str(&back, "k").unwrap(), "héllo → wörld");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} x",
+            "{\"a\":\"unterminated}",
+            "{\"a\":tru}",
+            "{\"a\":1e}",
+            "[1]",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_required_fields_are_protocol_errors() {
+        let obj = parse_object(r#"{"n": 3}"#).unwrap();
+        assert!(matches!(
+            want_str(&obj, "name"),
+            Err(DcfbError::Protocol { .. })
+        ));
+        assert!(matches!(
+            want_u64(&obj, "count"),
+            Err(DcfbError::Protocol { .. })
+        ));
+        assert_eq!(opt_u64(&obj, "count"), 0);
+        assert_eq!(opt_str(&obj, "name"), None);
+    }
+}

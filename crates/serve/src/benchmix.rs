@@ -1,0 +1,98 @@
+//! The served job mix measured by `dcfb bench-sweep` (schema v5).
+//!
+//! A small, fixed mix — two methods crossed with two workloads, every
+//! unique spec submitted twice — runs through a real in-process
+//! [`Server`] on an ephemeral port: submissions travel the HTTP
+//! protocol, the queue, the worker pool, and the memoizing cache
+//! exactly as a remote client's would. The repeat submissions land in
+//! the cache (or coalesce onto in-flight work), so the expected hit
+//! fraction is about one half by construction; throughput counts
+//! submissions resolved per wall-clock second, end to end.
+
+use crate::server::{ServeOptions, Server};
+use dcfb_bench::ServeMixMeasurement;
+use dcfb_errors::DcfbError;
+use dcfb_sdk::{Client, JobSpec};
+use std::time::Instant;
+
+/// Methods in the replayed mix: the paper baseline plus the headline
+/// discontinuity prefetcher.
+const MIX_METHODS: [&str; 2] = ["Baseline", "SN4L+Dis+BTB"];
+
+/// Workloads in the replayed mix (a CDN-style and a search trace).
+const MIX_WORKLOADS: [&str; 2] = ["Media Streaming", "Web Search"];
+
+/// Runs the bench-sweep serve mix at the given per-job scale and
+/// returns the measurement recorded in `BENCH_sweep.json`.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Io`] when the ephemeral listener cannot bind
+/// and [`DcfbError::Protocol`] when the protocol round-trip fails;
+/// simulation errors surface as the failing job's typed error.
+pub fn measure_serve_mix(warmup: u64, measure: u64) -> Result<ServeMixMeasurement, DcfbError> {
+    let mut server = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        state_path: None,
+        ..ServeOptions::default()
+    })?;
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut specs = Vec::new();
+    for method in MIX_METHODS {
+        for workload in MIX_WORKLOADS {
+            specs.push(JobSpec {
+                workload: workload.to_owned(),
+                method: method.to_owned(),
+                warmup,
+                measure,
+                seed: dcfb_bench::runs::TRACE_SEED,
+            });
+        }
+    }
+
+    let started = Instant::now();
+    let mut submits = 0u64;
+    // First pass: submit every unique spec and wait for its result, so
+    // the second pass is guaranteed to find either a cached result or
+    // nothing in flight (making the hit fraction deterministic).
+    for spec in &specs {
+        let reply = client.submit(spec)?;
+        submits += 1;
+        client.wait(&reply.job)?;
+    }
+    let mut hits = 0u64;
+    for spec in &specs {
+        let reply = client.submit(spec)?;
+        submits += 1;
+        if reply.cached {
+            hits += 1;
+        }
+        client.wait(&reply.job)?;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    client.shutdown()?;
+    server.wait();
+
+    Ok(ServeMixMeasurement {
+        submit_jobs: submits,
+        cache_hit_frac: hits as f64 / submits as f64,
+        jobs_per_sec: submits as f64 / elapsed,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mix_measures_and_hits_cache() {
+        let m = measure_serve_mix(50, 200).unwrap();
+        assert_eq!(m.submit_jobs, 8);
+        // The whole second pass is served from cache.
+        assert!((m.cache_hit_frac - 0.5).abs() < 1e-9, "{m:?}");
+        assert!(m.jobs_per_sec > 0.0 && m.jobs_per_sec.is_finite());
+    }
+}

@@ -1,0 +1,200 @@
+//! The memoized result cache: rendered reports keyed by job digest,
+//! LRU-evicted under a byte budget, integrity-checked on every hit.
+
+use dcfb_sim::metrics::SimReport;
+use std::collections::HashMap;
+
+/// One memoized result.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// The rendered report JSON served to clients.
+    json: String,
+    /// `SimReport::digest()` of the result.
+    digest: String,
+    /// The report itself, kept for the integrity check. Entries
+    /// recovered from a checkpoint carry only the rendered form.
+    report: Option<SimReport>,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+}
+
+impl CacheEntry {
+    fn bytes(&self) -> usize {
+        self.json.len() + self.digest.len()
+    }
+}
+
+/// A digest-keyed LRU cache of rendered [`SimReport`]s with a byte
+/// budget.
+///
+/// Every hit re-derives the stored report's digest and compares it to
+/// the digest recorded at insertion — a mismatch means the value no
+/// longer is what the simulation produced, so the entry is dropped
+/// (counted as an eviction) and the lookup misses. The most recent
+/// insertion always survives, even when it alone exceeds the budget:
+/// serving the result that was just computed beats strict accounting.
+#[derive(Debug)]
+pub struct ResultCache {
+    budget: usize,
+    entries: HashMap<String, CacheEntry>,
+    clock: u64,
+    pending_evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            budget,
+            entries: HashMap::new(),
+            clock: 0,
+            pending_evictions: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rendered bytes currently held (JSON + digest).
+    pub fn bytes(&self) -> usize {
+        self.entries.values().map(CacheEntry::bytes).sum()
+    }
+
+    /// Evictions (budget pressure + integrity drops) since the last
+    /// call; resets the pending count. The server folds this into the
+    /// `serve_evictions` counter.
+    pub fn take_evictions(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_evictions)
+    }
+
+    /// Memoizes a result under `id`, evicting least-recently-used
+    /// entries while the cache is over budget.
+    pub fn insert(&mut self, id: &str, json: String, digest: String, report: Option<SimReport>) {
+        self.clock += 1;
+        self.entries.insert(
+            id.to_owned(),
+            CacheEntry {
+                json,
+                digest,
+                report,
+                stamp: self.clock,
+            },
+        );
+        while self.bytes() > self.budget && self.entries.len() > 1 {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.pending_evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Looks up `id`, refreshing its LRU stamp. Returns the rendered
+    /// `(json, digest)` pair, or `None` on miss — including the case
+    /// where the stored report fails its digest integrity check (the
+    /// entry is dropped and counted as an eviction).
+    pub fn get(&mut self, id: &str) -> Option<(String, String)> {
+        let ok = match self.entries.get(id) {
+            None => return None,
+            Some(e) => e.report.as_ref().is_none_or(|r| r.digest() == e.digest),
+        };
+        if !ok {
+            self.entries.remove(id);
+            self.pending_evictions += 1;
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(id).map(|e| {
+            e.stamp = clock;
+            (e.json.clone(), e.digest.clone())
+        })
+    }
+
+    /// Like [`ResultCache::get`] but without refreshing the LRU stamp
+    /// or integrity-checking — used by the persister, which must not
+    /// perturb eviction order.
+    pub fn peek(&self, id: &str) -> Option<(&str, &str)> {
+        self.entries
+            .get(id)
+            .map(|e| (e.json.as_str(), e.digest.as_str()))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            cycles,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn hits_refresh_lru_and_misses_are_none() {
+        let mut c = ResultCache::new(1 << 20);
+        let r = report(10);
+        c.insert("a", "{\"x\":1}".to_owned(), r.digest(), Some(r));
+        assert_eq!(c.len(), 1);
+        let (json, digest) = c.get("a").unwrap();
+        assert_eq!(json, "{\"x\":1}");
+        assert!(!digest.is_empty());
+        assert!(c.get("b").is_none());
+        assert_eq!(c.take_evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_budget() {
+        // Each entry is ~40 bytes of json + digest; budget fits two.
+        let mut c = ResultCache::new(80);
+        c.insert("a", "x".repeat(30), "d".repeat(8), None);
+        c.insert("b", "x".repeat(30), "d".repeat(8), None);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(c.get("a").is_some());
+        c.insert("c", "x".repeat(30), "d".repeat(8), None);
+        assert_eq!(c.take_evictions(), 1);
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn oversized_newest_entry_survives_alone() {
+        let mut c = ResultCache::new(10);
+        c.insert("small", "ok".to_owned(), "d".to_owned(), None);
+        c.insert("huge", "x".repeat(1000), "d".to_owned(), None);
+        // The older entry went; the fresh oversized one is served.
+        assert_eq!(c.take_evictions(), 1);
+        assert!(c.get("huge").is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn integrity_mismatch_drops_the_entry() {
+        let mut c = ResultCache::new(1 << 20);
+        let r = report(10);
+        c.insert("a", "{}".to_owned(), "not-the-digest".to_owned(), Some(r));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.take_evictions(), 1);
+        assert!(c.is_empty());
+        // Recovered entries (no report) are trusted as-is.
+        c.insert("b", "{}".to_owned(), "recovered".to_owned(), None);
+        assert!(c.get("b").is_some());
+    }
+}

@@ -1,0 +1,35 @@
+//! # dcfb-serve
+//!
+//! Simulation-as-a-service: the long-lived job server behind
+//! `dcfb serve`. It accepts [`dcfb_sdk::JobSpec`] submissions over a
+//! hand-rolled HTTP/1.1 + flat-JSON protocol, runs them through the
+//! supervised worker pool (deadlines, retries, quarantine), memoizes
+//! results in a digest-keyed LRU cache under a byte budget, coalesces
+//! duplicate in-flight submissions, streams per-job progress through
+//! the simulator's [`dcfb_sim::RunControl`] hook, and persists its job
+//! table through the bench checkpoint machinery so a killed server
+//! resumes queued and running jobs on restart.
+//!
+//! Module map:
+//!
+//! * [`cache`] — the memoized result cache (LRU, byte budget,
+//!   digest integrity check on every hit);
+//! * [`state`] — the job table, its life cycle, and crash-safe
+//!   persistence/recovery;
+//! * [`server`] — the listener, router, submission semantics, and the
+//!   worker pool;
+//! * [`benchmix`] — the small replayed job mix measured by
+//!   `dcfb bench-sweep` (schema v5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmix;
+pub mod cache;
+pub mod server;
+pub mod state;
+
+pub use benchmix::measure_serve_mix;
+pub use cache::ResultCache;
+pub use server::{render_report, ServeOptions, Server};
+pub use state::{JobEntry, ServerState, SERVE_STATE_SCHEMA};

@@ -1,0 +1,123 @@
+//! The acceptance e2e: a 15-method registry sweep submitted through
+//! `dcfb serve`, the server killed mid-run, and a restarted server
+//! resuming from the persisted job table — every served digest
+//! byte-identical to a direct run, and every resubmission answered
+//! from cache without re-simulating.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dcfb_sdk::{Client, JobSpec};
+use dcfb_serve::{ServeOptions, Server};
+use dcfb_sim::{SimConfig, Simulator};
+use dcfb_workloads::Walker;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn sweep_specs() -> Vec<JobSpec> {
+    dcfb_prefetch::method_names()
+        .map(|method| JobSpec {
+            workload: "Web Search".to_owned(),
+            method: method.to_owned(),
+            warmup: 20_000,
+            measure: 60_000,
+            seed: dcfb_bench::runs::TRACE_SEED,
+        })
+        .collect()
+}
+
+fn direct_digest(spec: &JobSpec) -> String {
+    let workload = dcfb_workloads::all_workloads()
+        .into_iter()
+        .find(|w| w.name == spec.workload)
+        .expect("workload in catalog");
+    let mut cfg = SimConfig::for_method(&spec.method).expect("method in registry");
+    cfg.warmup_instrs = spec.warmup;
+    cfg.measure_instrs = spec.measure;
+    let image = dcfb_bench::runs::image_for(&workload, cfg.isa);
+    let mut sim = Simulator::try_new(cfg, Arc::clone(&image)).expect("simulator builds");
+    let mut walker = Walker::new(image, spec.seed);
+    sim.run(&mut walker).digest()
+}
+
+fn options(state: &std::path::Path) -> ServeOptions {
+    ServeOptions {
+        state_path: Some(state.to_path_buf()),
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn killed_server_resumes_and_serves_identical_digests() {
+    let dir = std::env::temp_dir().join("dcfb-serve-recovery-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state.json");
+    let _ = std::fs::remove_file(&state);
+
+    let specs = sweep_specs();
+    assert_eq!(specs.len(), 15, "the full method registry");
+
+    // Phase 1: submit the whole sweep, then kill the server mid-run
+    // (abrupt: no farewell persistence — the file holds whatever the
+    // last completed transition wrote).
+    let mut server = Server::spawn(options(&state)).expect("server binds");
+    let client = Client::new(server.local_addr().to_string());
+    for spec in &specs {
+        let reply = client.submit(spec).expect("submission accepted");
+        assert!(!reply.cached && !reply.coalesced);
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while server.executed() < 3 {
+        assert!(Instant::now() < deadline, "sweep made no progress");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let done_before_kill = server.executed();
+    server.kill();
+    server.wait();
+    assert!(
+        done_before_kill < specs.len() as u64,
+        "kill landed after the sweep finished; shrink the poll threshold"
+    );
+
+    // Phase 2: a fresh server on the same state file resumes the
+    // unfinished jobs without any resubmission.
+    let mut server = Server::spawn(options(&state)).expect("server restarts");
+    let client = Client::new(server.local_addr().to_string());
+    let mut served = Vec::new();
+    for spec in &specs {
+        let result = client
+            .wait(&spec.digest())
+            .expect("recovered job completes");
+        served.push(result);
+    }
+    for (spec, result) in specs.iter().zip(&served) {
+        assert_eq!(
+            result.digest,
+            direct_digest(spec),
+            "served digest for {} diverged from the direct run",
+            spec.method
+        );
+    }
+
+    // Phase 3: resubmitting the identical sweep is pure cache — the
+    // replies are byte-identical and nothing re-simulates.
+    let executed = server.executed();
+    for (spec, first) in specs.iter().zip(&served) {
+        let reply = client.submit(spec).expect("resubmission accepted");
+        assert!(
+            reply.cached,
+            "resubmitted {} must hit the cache",
+            spec.method
+        );
+        let again = client.result(&reply.job).expect("cached result");
+        assert_eq!(again.report_json, first.report_json);
+        assert_eq!(again.digest, first.digest);
+    }
+    assert_eq!(server.executed(), executed, "cache hits must not re-run");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_hits, specs.len() as u64);
+    assert_eq!(stats.done, specs.len() as u64);
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+    let _ = std::fs::remove_file(&state);
+}

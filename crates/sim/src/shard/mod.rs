@@ -64,6 +64,30 @@ impl ShardOptions {
     pub fn overlap_for(&self, warmup_instrs: u64) -> u64 {
         self.warmup_overlap.unwrap_or(warmup_instrs / 4).max(1)
     }
+
+    /// Rejects shard options that a run could only honor by silently
+    /// clamping: zero shards, or a warmup overlap reaching past the
+    /// measured-window start (overlap > warmup). Full-warmup overlap
+    /// (overlap == warmup) stays valid — it is the conformance suite's
+    /// K=3 operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfbError::Config`] naming the offending knob.
+    pub fn validate(&self, warmup_instrs: u64) -> Result<(), DcfbError> {
+        if self.shards == 0 {
+            return Err(DcfbError::Config("--shards must be at least 1".to_owned()));
+        }
+        if let Some(overlap) = self.warmup_overlap {
+            if overlap > warmup_instrs {
+                return Err(DcfbError::Config(format!(
+                    "--warmup-overlap {overlap} reaches past the measured-window \
+                     start (warmup is {warmup_instrs} instructions)"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A sharded run's results: the stitched report, the per-shard reports
@@ -162,6 +186,7 @@ pub fn run_sharded(
     opts: &ShardOptions,
 ) -> Result<ShardedRun, DcfbError> {
     cfg.validate()?;
+    opts.validate(cfg.warmup_instrs)?;
     let overlap = opts.overlap_for(cfg.warmup_instrs);
     let plan = plan_shards(cfg.warmup_instrs, cfg.measure_instrs, opts.shards, overlap);
     let trace = record_trace(image, trace_seed, plan.trace_instrs());
@@ -358,17 +383,52 @@ mod tests {
             7,
             &ShardOptions {
                 shards: 6,
-                // Far longer than the 2 000-instruction slices.
-                warmup_overlap: Some(50_000),
+                // Full-warmup overlap: far longer than the
+                // 2 000-instruction slices, the longest still valid.
+                warmup_overlap: Some(4_000),
                 jobs: 2,
             },
         )
         .unwrap();
         assert_eq!(run.merged.instrs, cfg.measure_instrs);
-        // Every later shard warmed on the whole preceding trace.
+        // Every later shard warmed on the full requested overlap (the
+        // preceding trace is always at least `warmup` long).
         for s in &run.plan.shards[1..] {
-            assert_eq!(s.start, 0);
+            assert_eq!(s.warmup, 4_000);
         }
+    }
+
+    #[test]
+    fn invalid_shard_options_are_typed_config_errors() {
+        let cfg = tiny_cfg("Baseline");
+        let image = tiny_workload().image(cfg.isa);
+        let zero = ShardOptions {
+            shards: 0,
+            warmup_overlap: None,
+            jobs: 1,
+        };
+        assert!(matches!(
+            run_sharded(&cfg, &image, 7, &zero),
+            Err(DcfbError::Config { .. })
+        ));
+        let past_window = ShardOptions {
+            shards: 2,
+            // One past the measured-window start (warmup is 4 000).
+            warmup_overlap: Some(4_001),
+            jobs: 1,
+        };
+        assert!(matches!(
+            run_sharded(&cfg, &image, 7, &past_window),
+            Err(DcfbError::Config { .. })
+        ));
+        // Full-warmup overlap stays valid: the conformance K=3 point.
+        ShardOptions {
+            shards: 2,
+            warmup_overlap: Some(4_000),
+            jobs: 1,
+        }
+        .validate(4_000)
+        .unwrap();
     }
 
     #[test]

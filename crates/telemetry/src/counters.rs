@@ -53,11 +53,20 @@ pub enum Ctr {
     /// (including resubmissions skipped because their config digest was
     /// already quarantined).
     JobQuarantines,
+    /// HTTP requests the job server parsed and routed.
+    ServeRequests,
+    /// Submissions answered from the memoized result cache.
+    ServeCacheHits,
+    /// Submissions coalesced onto an identical queued/running job.
+    ServeCoalesced,
+    /// Result-cache entries evicted under the byte budget (including
+    /// entries dropped by the integrity check).
+    ServeEvictions,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
 
     /// All counters, in index order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -82,6 +91,10 @@ impl Ctr {
         Ctr::JobRetries,
         Ctr::JobTimeouts,
         Ctr::JobQuarantines,
+        Ctr::ServeRequests,
+        Ctr::ServeCacheHits,
+        Ctr::ServeCoalesced,
+        Ctr::ServeEvictions,
     ];
 
     /// Stable machine-readable name (used in the metrics schema).
@@ -108,6 +121,10 @@ impl Ctr {
             Ctr::JobRetries => "job_retries",
             Ctr::JobTimeouts => "job_timeouts",
             Ctr::JobQuarantines => "job_quarantines",
+            Ctr::ServeRequests => "serve_requests",
+            Ctr::ServeCacheHits => "serve_cache_hits",
+            Ctr::ServeCoalesced => "serve_coalesced",
+            Ctr::ServeEvictions => "serve_evictions",
         }
     }
 }
