@@ -19,11 +19,13 @@
 pub mod chaos;
 pub mod checkpoint;
 pub mod figures;
+pub mod fuzz;
 pub mod runs;
 pub mod supervisor;
 pub mod sweep;
 pub mod table;
 
+pub use fuzz::{run_fuzz_campaign, FuzzOptions, FuzzReport};
 pub use runs::{measure_instrs, warmup_instrs, workloads};
 pub use supervisor::{
     BackoffPolicy, Deadline, JobEnvelope, JobOutcome, JobRecord, JobStatus, SupervisionReport,

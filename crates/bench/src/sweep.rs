@@ -217,6 +217,13 @@ pub struct BenchSweepReport {
     /// Served throughput of the mix: submissions resolved per second,
     /// end to end through the HTTP protocol, queue, and worker pool.
     pub serve_jobs_per_sec: f64,
+    /// Throughput of the quick conformance-fuzz campaign: candidate
+    /// ops evaluated (coverage probe + three lockstep harnesses) per
+    /// wall-clock second.
+    pub fuzz_ops_per_sec: f64,
+    /// Fraction of the behavioral coverage map the quick campaign lit
+    /// (bits hit / total bits); in `(0, 1]` by construction.
+    pub fuzz_coverage_frac: f64,
 }
 
 /// The served-job-mix measurement recorded in schema v5. Produced by
@@ -243,8 +250,10 @@ pub struct ServeMixMeasurement {
 /// `single_run_sharded_ips`, `sharded_speedup`, `shard_digest_identity`)
 /// and the single-worker `jobs_warning`. v5 adds the served-job-mix
 /// measurement through `dcfb serve` (`serve_submit_jobs`,
-/// `serve_cache_hit_frac`, `serve_jobs_per_sec`).
-pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v5";
+/// `serve_cache_hit_frac`, `serve_jobs_per_sec`). v6 adds the
+/// conformance-fuzz campaign measurement (`fuzz_ops_per_sec`,
+/// `fuzz_coverage_frac`).
+pub const BENCH_SWEEP_SCHEMA: &str = "dcfb-bench-sweep-v6";
 
 /// `telemetry_overhead_measurement` value for the measurement this
 /// crate performs: the telemetry-enabled run is timed with per-cycle
@@ -375,6 +384,11 @@ pub fn run_bench_sweep(
     } else {
         0.0
     };
+    // The quick fuzz campaign, timed sequentially: deterministic work,
+    // so the ops/s is a clean engine-throughput number and the coverage
+    // fraction is identical on every host.
+    let (fuzz_ops_per_sec, fuzz_coverage_frac) = crate::fuzz::quick_campaign_metrics(42)?;
+
     let jobs_warning = if opts.jobs <= 1 {
         format!(
             "jobs == 1 on a {host_cores}-core host: the parallel and sharded \
@@ -415,6 +429,8 @@ pub fn run_bench_sweep(
         serve_submit_jobs: serve.submit_jobs,
         serve_cache_hit_frac: serve.cache_hit_frac,
         serve_jobs_per_sec: serve.jobs_per_sec,
+        fuzz_ops_per_sec,
+        fuzz_coverage_frac,
     })
 }
 
@@ -515,6 +531,12 @@ impl BenchSweepReport {
         put(
             "serve_jobs_per_sec",
             format_f64(self.serve_jobs_per_sec),
+            false,
+        );
+        put("fuzz_ops_per_sec", format_f64(self.fuzz_ops_per_sec), false);
+        put(
+            "fuzz_coverage_frac",
+            format_f64(self.fuzz_coverage_frac),
             true,
         );
         out.push_str("}\n");
@@ -603,6 +625,8 @@ impl BenchSweepReport {
             serve_submit_jobs: u64_field("serve_submit_jobs")?,
             serve_cache_hit_frac: f64_field("serve_cache_hit_frac")?,
             serve_jobs_per_sec: f64_field("serve_jobs_per_sec")?,
+            fuzz_ops_per_sec: f64_field("fuzz_ops_per_sec")?,
+            fuzz_coverage_frac: f64_field("fuzz_coverage_frac")?,
         })
     }
 
@@ -710,6 +734,15 @@ impl BenchSweepReport {
         }
         if !ips_ok(self.serve_jobs_per_sec) {
             return fail("serve_jobs_per_sec must be positive");
+        }
+        if !ips_ok(self.fuzz_ops_per_sec) {
+            return fail("fuzz_ops_per_sec must be positive");
+        }
+        if !self.fuzz_coverage_frac.is_finite()
+            || self.fuzz_coverage_frac <= 0.0
+            || self.fuzz_coverage_frac > 1.0
+        {
+            return fail("fuzz_coverage_frac must lie in (0, 1]");
         }
         Ok(())
     }
@@ -942,6 +975,8 @@ mod tests {
             serve_submit_jobs: 16,
             serve_cache_hit_frac: 0.5,
             serve_jobs_per_sec: 12.5,
+            fuzz_ops_per_sec: 85_000.0,
+            fuzz_coverage_frac: 0.65,
         }
     }
 
@@ -1036,6 +1071,20 @@ mod tests {
         let mut r = sample_report();
         r.serve_jobs_per_sec = 0.0;
         assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.fuzz_ops_per_sec = 0.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.fuzz_coverage_frac = 0.0;
+        assert!(r.validate().is_err());
+        r.fuzz_coverage_frac = 1.25;
+        assert!(r.validate().is_err());
+        r.fuzz_coverage_frac = f64::NAN;
+        assert!(r.validate().is_err());
+        r.fuzz_coverage_frac = 1.0;
+        assert!(r.validate().is_ok());
     }
 
     #[test]

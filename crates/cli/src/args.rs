@@ -39,6 +39,18 @@ COMMANDS:
                          salvage) and check its invariants; exits 4 on
                          any violation. --seed reproduces a campaign,
                          --quick runs the tier-1 smoke subset
+    fuzz                 Coverage-guided conformance fuzzing: mutate op
+                         sequences on the worker pool, keep only
+                         coverage-increasing inputs (ddmin-minimized),
+                         and lockstep-check every candidate against the
+                         reference models; exits 4 with a shrunk
+                         counterexample on the first divergence. The
+                         result is bit-identical at any --jobs; --quick
+                         runs the bounded smoke campaign (and requires
+                         the guided coverage to beat the fixed-seed
+                         generator), --state persists/resumes the
+                         campaign, --corpus-out writes the minimized
+                         corpus text
     serve                Run the simulation job server: accepts job
                          submissions over HTTP/1.1 + JSON (see the
                          dcfb-sdk crate for the client), memoizes
@@ -60,12 +72,21 @@ OPTIONS:
     --out <FILE>         Output path for `record` / prefix for `profile`
     --trace <FILE>       Input path for `replay`
     --format <binary|text>  Trace format for `record` (default binary)
-    --ops <N>            Fuzzed ops per structure for `conformance`
-                         (default 10000)
+    --ops <N>            Fuzzed ops per structure for `conformance`,
+                         total op budget for `fuzz` (default 10000;
+                         zero is a configuration error, exit 3)
     --lenient            For `replay`: salvage the valid prefix of a
                          damaged trace instead of failing (default is
                          strict: any corruption is an error, exit 3)
-    --quick              For `chaos`: run the reduced smoke campaign
+    --quick              For `chaos` / `fuzz`: run the reduced smoke
+                         campaign
+    --jobs <N>           For `fuzz`: worker threads for candidate
+                         evaluation (default 0 = DCFB_JOBS, which
+                         itself defaults to the host's parallelism);
+                         any value yields bit-identical results
+    --corpus-out <FILE>  For `fuzz`: write the minimized corpus in the
+                         replayable text form (the source of the
+                         checked-in seed corpus)
     --shards <K>         For `run`: slice the measured window into K
                          time shards simulated concurrently and stitch
                          the reports (default 1 = sequential; K=1 is
@@ -76,7 +97,9 @@ OPTIONS:
     --addr <HOST:PORT>   For `serve`: listen address (port 0 picks an
                          ephemeral port, printed on startup)
     --state <FILE>       For `serve`: job-table persistence file;
-                         omit to disable crash recovery
+                         omit to disable crash recovery.
+                         For `fuzz`: campaign checkpoint file, saved
+                         every round and resumed when present
     --workers <N>        For `serve`: worker-pool size (default 0 =
                          DCFB_JOBS, which itself defaults to the host's
                          available parallelism)
@@ -115,10 +138,15 @@ pub struct Cli {
     pub format: String,
     /// `--lenient` for `replay`: salvage damaged traces.
     pub lenient: bool,
-    /// `--ops` for `conformance`: fuzzed ops per structure.
+    /// `--ops` for `conformance` / `fuzz`: op budget. Positivity is a
+    /// typed config rule checked at run time, not here.
     pub ops: usize,
-    /// `--quick` for `chaos`: reduced smoke campaign.
+    /// `--quick` for `chaos` / `fuzz`: reduced smoke campaign.
     pub quick: bool,
+    /// `--jobs` for `fuzz`: worker threads (0 = `DCFB_JOBS`).
+    pub jobs: usize,
+    /// `--corpus-out` for `fuzz`: minimized-corpus output path.
+    pub corpus_out: Option<String>,
     /// `--shards` for `run`: time shards to slice the window into.
     /// Validated against the typed config rules at run time, not here.
     pub shards: usize,
@@ -166,6 +194,8 @@ impl Cli {
             lenient: false,
             ops: 10_000,
             quick: false,
+            jobs: 0,
+            corpus_out: None,
             shards: 1,
             warmup_overlap: None,
             addr: None,
@@ -214,13 +244,20 @@ impl Cli {
                     };
                 }
                 "--ops" => {
+                    // `--ops 0` parses; the commands reject it at run
+                    // time as a typed config error (exit 3), so a
+                    // zero budget never silently "passes" by checking
+                    // nothing.
                     cli.ops = value("--ops")?
                         .parse()
                         .map_err(|_| "--ops must be an integer")?;
-                    if cli.ops == 0 {
-                        return Err("--ops must be positive".into());
-                    }
                 }
+                "--jobs" => {
+                    cli.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs must be an integer")?;
+                }
+                "--corpus-out" => cli.corpus_out = Some(value("--corpus-out")?),
                 "--shards" => {
                     // Range rules (>= 1, overlap within warmup) are
                     // checked at run time by `ShardOptions::validate`,
@@ -363,8 +400,40 @@ mod tests {
         assert_eq!(cli.seed, 9);
         assert_eq!(cli.ops, 500);
         assert_eq!(parse(&["conformance"]).unwrap().ops, 10_000);
-        assert!(parse(&["conformance", "--ops", "0"]).is_err());
+        // Zero parses here; the command rejects it at run time as a
+        // typed config error (exit 3), not a usage error.
+        assert_eq!(parse(&["conformance", "--ops", "0"]).unwrap().ops, 0);
         assert!(parse(&["conformance", "--ops", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let cli = parse(&[
+            "fuzz",
+            "--seed",
+            "7",
+            "--ops",
+            "50000",
+            "--jobs",
+            "4",
+            "--state",
+            "fuzz.json",
+            "--corpus-out",
+            "corpus.txt",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, "fuzz");
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.ops, 50_000);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.state.as_deref(), Some("fuzz.json"));
+        assert_eq!(cli.corpus_out.as_deref(), Some("corpus.txt"));
+        assert!(cli.quick);
+        let defaults = parse(&["fuzz"]).unwrap();
+        assert_eq!(defaults.jobs, 0);
+        assert_eq!(defaults.corpus_out, None);
+        assert!(parse(&["fuzz", "--jobs", "many"]).is_err());
     }
 
     #[test]

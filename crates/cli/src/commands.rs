@@ -299,6 +299,11 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         report.serve_cache_hit_frac * 100.0,
         report.serve_jobs_per_sec
     );
+    println!(
+        "fuzz campaign: {:.0} candidate ops/s, {:.1}% of the coverage map lit",
+        report.fuzz_ops_per_sec,
+        report.fuzz_coverage_frac * 100.0
+    );
     if !report.jobs_warning.is_empty() {
         eprintln!("warning: {}", report.jobs_warning);
     }
@@ -513,6 +518,13 @@ pub fn replay(cli: &Cli) -> Result<(), DcfbError> {
 
 /// `dcfb conformance`
 pub fn conformance(cli: &Cli) -> Result<(), DcfbError> {
+    if cli.ops == 0 {
+        // A zero budget would "pass" every lockstep check by running
+        // nothing — reject it as a configuration error, not usage.
+        return Err(DcfbError::Config(
+            "conformance op budget must be positive (--ops 0 would check nothing)".into(),
+        ));
+    }
     let report = dcfb_conformance::run_full_suite(cli.seed, cli.ops);
     print!("{}", report.render());
     if report.passed() {
@@ -536,6 +548,64 @@ pub fn conformance(cli: &Cli) -> Result<(), DcfbError> {
             ),
         })
     }
+}
+
+/// `dcfb fuzz` — the coverage-guided conformance campaign on the
+/// worker pool. Stdout carries only the deterministic summary (the
+/// same bytes at any `--jobs`); timing goes to stderr.
+pub fn fuzz(cli: &Cli) -> Result<(), DcfbError> {
+    let jobs = if cli.jobs == 0 {
+        dcfb_bench::sweep::jobs()
+    } else {
+        cli.jobs
+    };
+    let opts = dcfb_bench::FuzzOptions {
+        seed: cli.seed,
+        total_ops: cli.ops as u64,
+        jobs,
+        quick: cli.quick,
+        state: cli.state.as_ref().map(std::path::PathBuf::from),
+        corpus_out: cli.corpus_out.as_ref().map(std::path::PathBuf::from),
+    };
+    let report = dcfb_bench::run_fuzz_campaign(&opts)?;
+    print!("{}", report.render());
+    eprintln!(
+        "fuzz: {:.2}s wall clock, {:.0} ops/s, {} jobs",
+        report.seconds, report.ops_per_sec, report.jobs
+    );
+    if let Some(path) = &cli.corpus_out {
+        eprintln!("fuzz: wrote minimized corpus to {path}");
+    }
+    if let Some(len) = report.counterexample_len {
+        return Err(DcfbError::Run {
+            workload: "fuzzed op streams".to_owned(),
+            method: "fuzz".to_owned(),
+            message: format!(
+                "a campaign candidate diverged from production (shrunk to {len} op(s)); \
+                 reproduce with --seed {}{}",
+                report.seed,
+                if cli.quick {
+                    " --quick".to_owned()
+                } else {
+                    format!(" --ops {}", cli.ops)
+                }
+            ),
+        });
+    }
+    if cli.quick && report.coverage_bits <= report.baseline_bits {
+        // The --quick smoke doubles as the verify-flow gate: guided
+        // search must strictly beat the fixed-seed generator at the
+        // same executed-op budget.
+        return Err(DcfbError::Run {
+            workload: "fuzzed op streams".to_owned(),
+            method: "fuzz".to_owned(),
+            message: format!(
+                "guided coverage ({} bits) failed to exceed the fixed-seed baseline ({} bits)",
+                report.coverage_bits, report.baseline_bits
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// `chaos`: the seeded fault campaign — supervised retries, deadlines,

@@ -11,6 +11,8 @@
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! dcfb conformance [--seed N] [--ops N]
+//! dcfb fuzz     [--seed N] [--ops N] [--jobs N] [--quick]
+//!               [--state camp.json] [--corpus-out corpus.txt]
 //! dcfb chaos    [--seed N] [--quick]
 //! dcfb serve    --addr 127.0.0.1:7070 [--state jobs.json] [--workers N]
 //! ```
@@ -55,6 +57,7 @@ fn main() {
         "record" => commands::record(&cli),
         "replay" => commands::replay(&cli),
         "conformance" => commands::conformance(&cli),
+        "fuzz" => commands::fuzz(&cli),
         "chaos" => commands::chaos(&cli),
         "serve" => commands::serve(&cli),
         "help" | "--help" | "-h" => {

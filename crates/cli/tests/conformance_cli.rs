@@ -37,6 +37,7 @@ fn conformance_passes_and_reports_every_check() {
         "invariant/chain-depth",
         "invariant/timeliness-sums",
         "invariant/replay-deterministic",
+        "invariant/corpus-replay",
     ] {
         assert!(stdout.contains(check), "missing {check}:\n{stdout}");
     }
@@ -53,17 +54,25 @@ fn conformance_same_seed_same_output() {
 }
 
 #[test]
-fn bad_ops_is_a_usage_error() {
-    for args in [
-        ["conformance", "--ops", "0"],
-        ["conformance", "--ops", "lots"],
-    ] {
-        let out = dcfb(&args);
-        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
-        let stderr = String::from_utf8_lossy(&out.stderr);
-        assert!(stderr.starts_with("error:"), "diagnostic first: {stderr}");
-        assert!(!stderr.contains("panicked"), "no backtraces: {stderr}");
-    }
+fn non_numeric_ops_is_a_usage_error() {
+    let out = dcfb(&["conformance", "--ops", "lots"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error:"), "diagnostic first: {stderr}");
+    assert!(!stderr.contains("panicked"), "no backtraces: {stderr}");
+}
+
+#[test]
+fn zero_ops_is_a_typed_config_error() {
+    // `--ops 0` parses fine; running a zero-op conformance pass would
+    // vacuously succeed, so the command rejects it with the config
+    // exit code (3), not the parse-time usage code (2).
+    let out = dcfb(&["conformance", "--ops", "0"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error:"), "diagnostic first: {stderr}");
+    assert!(stderr.contains("must be positive"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no backtraces: {stderr}");
 }
 
 #[test]

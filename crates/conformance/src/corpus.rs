@@ -1,0 +1,423 @@
+//! The minimized fuzz corpus.
+//!
+//! The campaign keeps only *coverage-increasing* inputs: a candidate is
+//! admitted when its [`CoverageMap`] lights a bit the accumulated
+//! campaign map has not seen, and is then re-minimized through the
+//! existing ddmin [`shrink`] down to a subsequence that still
+//! contributes novel coverage. Entries serialize to a one-line,
+//! human-diffable text form (one token per op) so the corpus can
+//! persist through the PR-1 checkpoint machinery and ship as the
+//! checked-in seed corpus `corpus_seed.txt`, which the 15th
+//! `dcfb conformance` check replays through every engine harness.
+
+use crate::coverage::{coverage_of, CoverageMap};
+use crate::ops::{CodeLayout, EngineOp, RecentBranch};
+use crate::shrink::shrink;
+use std::fmt::Write as _;
+
+/// Schema tag of the corpus text form (header line + checkpoint key).
+pub const CORPUS_SCHEMA: &str = "dcfb-corpus-v1";
+
+/// The checked-in seed corpus, produced by a `dcfb fuzz` campaign and
+/// re-blessed with `dcfb fuzz --corpus-out` after intentional
+/// reference-model changes.
+const BUILTIN: &str = include_str!("corpus_seed.txt");
+
+/// FNV-1a over `bytes` — the stable, dependency-free digest used for
+/// corpus identity (two campaigns with equal digests hold identical
+/// entries in identical order).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Renders `ops` as one line: space-separated tokens, `T` for ticks,
+/// `D:block:hp[:pc:target]` demands (`h`/`p` are 0/1 flags),
+/// `F:block:p` fills, `E:block:u` evicts.
+pub fn serialize_ops(ops: &[EngineOp]) -> String {
+    let mut out = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match op {
+            EngineOp::Demand {
+                block,
+                hit,
+                hit_was_prefetched,
+                branch,
+            } => {
+                let _ = write!(
+                    out,
+                    "D:{block}:{}{}",
+                    u8::from(*hit),
+                    u8::from(*hit_was_prefetched)
+                );
+                if let Some(b) = branch {
+                    let _ = write!(out, ":{}:{}", b.pc, b.target);
+                }
+            }
+            EngineOp::Fill {
+                block,
+                was_prefetch,
+            } => {
+                let _ = write!(out, "F:{block}:{}", u8::from(*was_prefetch));
+            }
+            EngineOp::Evict { block, useless } => {
+                let _ = write!(out, "E:{block}:{}", u8::from(*useless));
+            }
+            EngineOp::Tick => out.push('T'),
+        }
+    }
+    out
+}
+
+fn parse_flag(s: &str, what: &str) -> Result<bool, String> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(format!("bad {what} flag {s:?} (want 0/1)")),
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|e| format!("bad {what} {s:?}: {e}"))
+}
+
+/// Parses one [`serialize_ops`] line back into ops.
+///
+/// # Errors
+///
+/// A one-line description naming the offending token.
+pub fn parse_ops(line: &str) -> Result<Vec<EngineOp>, String> {
+    let mut ops = Vec::new();
+    for tok in line.split_whitespace() {
+        let mut parts = tok.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let op = match kind {
+            "T" => EngineOp::Tick,
+            "D" => {
+                let block = parse_u64(parts.next().unwrap_or_default(), "demand block")?;
+                let flags = parts.next().unwrap_or_default();
+                if flags.len() != 2 {
+                    return Err(format!("bad demand flags in {tok:?} (want two 0/1 chars)"));
+                }
+                let hit = parse_flag(&flags[0..1], "hit")?;
+                let hit_was_prefetched = parse_flag(&flags[1..2], "hit_was_prefetched")?;
+                let branch = match parts.next() {
+                    None => None,
+                    Some(pc) => {
+                        let pc = parse_u64(pc, "branch pc")?;
+                        let target = parse_u64(parts.next().unwrap_or_default(), "branch target")?;
+                        Some(RecentBranch { pc, target })
+                    }
+                };
+                EngineOp::Demand {
+                    block,
+                    hit,
+                    hit_was_prefetched,
+                    branch,
+                }
+            }
+            "F" => EngineOp::Fill {
+                block: parse_u64(parts.next().unwrap_or_default(), "fill block")?,
+                was_prefetch: parse_flag(parts.next().unwrap_or_default(), "was_prefetch")?,
+            },
+            "E" => EngineOp::Evict {
+                block: parse_u64(parts.next().unwrap_or_default(), "evict block")?,
+                useless: parse_flag(parts.next().unwrap_or_default(), "useless")?,
+            },
+            _ => return Err(format!("unknown op token {tok:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in op token {tok:?}"));
+        }
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err("empty op line".to_owned());
+    }
+    Ok(ops)
+}
+
+/// One admitted, minimized input.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// The minimized op sequence.
+    pub ops: Vec<EngineOp>,
+    /// The entry's own coverage map (over the campaign layout).
+    pub map: CoverageMap,
+}
+
+/// The ordered store of coverage-increasing inputs.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in admission order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Re-admits an already-minimized entry (checkpoint resume): its
+    /// map is recomputed over `layout` and folded into `global`.
+    pub fn admit_resumed(
+        &mut self,
+        layout: &CodeLayout,
+        global: &mut CoverageMap,
+        ops: Vec<EngineOp>,
+    ) {
+        let map = coverage_of(layout, &ops);
+        global.merge(&map);
+        self.entries.push(CorpusEntry { ops, map });
+    }
+
+    /// Considers a candidate whose coverage is `map`: admitted iff it
+    /// lights a bit `global` has not seen. On admission the input is
+    /// re-minimized with ddmin down to a subsequence that still
+    /// contributes novel coverage over the pre-admission map, `global`
+    /// absorbs both the full input's and the minimized entry's
+    /// coverage, and the entry is stored. Returns whether it was
+    /// admitted.
+    pub fn consider(
+        &mut self,
+        layout: &CodeLayout,
+        global: &mut CoverageMap,
+        ops: &[EngineOp],
+        map: &CoverageMap,
+    ) -> bool {
+        if !map.has_novel_bits_over(global) {
+            return false;
+        }
+        let before = *global;
+        let minimized = shrink(ops, &|sub: &[EngineOp]| {
+            coverage_of(layout, sub).has_novel_bits_over(&before)
+        });
+        let entry_map = coverage_of(layout, &minimized);
+        global.merge(map);
+        global.merge(&entry_map);
+        self.entries.push(CorpusEntry {
+            ops: minimized,
+            map: entry_map,
+        });
+        true
+    }
+
+    /// The serialized entry lines, in admission order.
+    pub fn lines(&self) -> Vec<String> {
+        self.entries.iter().map(|e| serialize_ops(&e.ops)).collect()
+    }
+
+    /// The corpus digest: FNV-1a over every serialized entry line, in
+    /// order. Equal digests mean identical corpora.
+    pub fn digest(&self) -> String {
+        let mut h = fnv1a64(CORPUS_SCHEMA.as_bytes());
+        for line in self.lines() {
+            h ^= fnv1a64(line.as_bytes());
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("fnv:{h:016x}")
+    }
+
+    /// Renders the whole corpus in the checked-in text form.
+    pub fn render(&self, layout_seed: u64) -> String {
+        let mut out = format!("# {CORPUS_SCHEMA} layout-seed={layout_seed}\n");
+        for line in self.lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a corpus text (the checked-in form): a header naming the
+/// schema and the layout seed, then one entry line per input.
+///
+/// # Errors
+///
+/// A one-line description of the malformed header or entry.
+pub fn parse_corpus_text(text: &str) -> Result<(u64, Vec<Vec<EngineOp>>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty corpus file")?;
+    let rest = header
+        .strip_prefix(&format!("# {CORPUS_SCHEMA} layout-seed="))
+        .ok_or_else(|| format!("bad corpus header {header:?}"))?;
+    let layout_seed = parse_u64(rest.trim(), "layout seed")?;
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        entries.push(parse_ops(line)?);
+    }
+    Ok((layout_seed, entries))
+}
+
+/// The checked-in seed corpus: `(layout_seed, entries)`.
+///
+/// # Errors
+///
+/// A one-line description if `corpus_seed.txt` is malformed.
+pub fn builtin_corpus() -> Result<(u64, Vec<Vec<EngineOp>>), String> {
+    parse_corpus_text(BUILTIN)
+}
+
+/// The 15th conformance check: every checked-in minimized corpus entry
+/// still passes lockstep through every engine harness (the corpus is
+/// the distilled record of the behaviors campaigns found interesting —
+/// a regression here means a reference/production divergence on a
+/// previously-conforming behavior).
+pub fn check_corpus_replay() -> Result<String, String> {
+    let (layout_seed, entries) = builtin_corpus()?;
+    let layout = crate::fuzz::Fuzzer::new(layout_seed).layout();
+    let harnesses = crate::campaign::engine_harnesses(&layout);
+    let mut replayed = 0usize;
+    for (i, ops) in entries.iter().enumerate() {
+        for h in &harnesses {
+            if let Some(d) = h.run(ops) {
+                return Err(format!(
+                    "corpus entry {i} ({} ops) diverged on {}:\n{d}",
+                    ops.len(),
+                    h.name()
+                ));
+            }
+            replayed += 1;
+        }
+    }
+    Ok(format!(
+        "{} entries × {} harnesses replay clean ({replayed} runs)",
+        entries.len(),
+        harnesses.len()
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::fuzz::Fuzzer;
+
+    #[test]
+    fn ops_round_trip_through_text() {
+        let mut fz = Fuzzer::new(13);
+        let layout = fz.layout();
+        let ops = fz.engine_ops(&layout, 300);
+        let line = serialize_ops(&ops);
+        let back = parse_ops(&line).unwrap();
+        assert_eq!(format!("{ops:?}"), format!("{back:?}"));
+        assert_eq!(serialize_ops(&back), line);
+    }
+
+    #[test]
+    fn malformed_op_lines_error() {
+        for bad in [
+            "",
+            "X:1:0",
+            "D:abc:00",
+            "D:5:2",
+            "D:5:001",
+            "D:5:01:12",
+            "D:5:01:12:13:14",
+            "F:1:7",
+            "E::1",
+            "T:1",
+        ] {
+            assert!(parse_ops(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_admits_only_novel_coverage_and_minimizes() {
+        let mut fz = Fuzzer::new(17);
+        let layout = fz.layout();
+        let mut corpus = Corpus::new();
+        let mut global = CoverageMap::new();
+
+        let ops = fz.engine_ops(&layout, 400);
+        let map = coverage_of(&layout, &ops);
+        assert!(corpus.consider(&layout, &mut global, &ops, &map));
+        assert_eq!(corpus.len(), 1);
+        assert!(
+            corpus.entries()[0].ops.len() < ops.len(),
+            "minimization kept all {} ops",
+            ops.len()
+        );
+        // The exact same input again: nothing novel, not admitted.
+        assert!(!corpus.consider(&layout, &mut global, &ops, &map));
+        assert_eq!(corpus.len(), 1);
+        // The minimized entry still contributes everything it was
+        // admitted for: replaying it lights bits inside the global map.
+        assert!(!corpus.entries()[0].map.has_novel_bits_over(&global));
+    }
+
+    #[test]
+    fn digest_tracks_content_and_order() {
+        let mut fz = Fuzzer::new(23);
+        let layout = fz.layout();
+        let mut a = Corpus::new();
+        let mut b = Corpus::new();
+        let mut ga = CoverageMap::new();
+        let mut gb = CoverageMap::new();
+        assert_eq!(a.digest(), b.digest());
+        let ops = fz.engine_ops(&layout, 200);
+        let map = coverage_of(&layout, &ops);
+        a.consider(&layout, &mut ga, &ops, &map);
+        assert_ne!(a.digest(), b.digest());
+        b.consider(&layout, &mut gb, &ops, &map);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn corpus_text_round_trips() {
+        let mut fz = Fuzzer::new(29);
+        let layout = fz.layout();
+        let mut corpus = Corpus::new();
+        let mut global = CoverageMap::new();
+        for n in [50, 400, 900] {
+            let ops = fz.engine_ops(&layout, n);
+            let map = coverage_of(&layout, &ops);
+            corpus.consider(&layout, &mut global, &ops, &map);
+        }
+        let text = corpus.render(29);
+        let (seed, entries) = parse_corpus_text(&text).unwrap();
+        assert_eq!(seed, 29);
+        assert_eq!(entries.len(), corpus.len());
+        for (e, back) in corpus.entries().iter().zip(entries.iter()) {
+            assert_eq!(format!("{:?}", e.ops), format!("{back:?}"));
+        }
+        assert!(parse_corpus_text("no header\n").is_err());
+        assert!(parse_corpus_text("# dcfb-corpus-v1 layout-seed=x\n").is_err());
+    }
+
+    #[test]
+    fn builtin_corpus_parses_and_replays_clean() {
+        let (seed, entries) = builtin_corpus().expect("well-formed seed corpus");
+        assert!(seed > 0);
+        assert!(!entries.is_empty(), "seed corpus must ship entries");
+        let msg = check_corpus_replay().expect("replay clean");
+        assert!(msg.contains("replay clean"), "{msg}");
+    }
+}

@@ -57,6 +57,23 @@ pub fn fuzz_proactive_config() -> dcfb_prefetch::Sn4lDisConfig {
     }
 }
 
+/// One splitmix64 step (the standard finalizer; public domain
+/// constants), used to derive independent sub-seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent sub-seed from `(base, a, b)` — the campaign
+/// seeds every `(round, candidate)` cell with this, so candidate
+/// generation is a pure function of the campaign seed and the cell
+/// coordinates, never of the job count or evaluation order.
+pub fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(base) ^ a) ^ b)
+}
+
 /// The deterministic op-sequence generator.
 pub struct Fuzzer {
     rng: SmallRng,

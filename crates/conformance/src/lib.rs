@@ -26,30 +26,28 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod campaign;
+pub mod corpus;
+pub mod coverage;
 pub mod fuzz;
 pub mod golden;
 pub mod invariants;
 pub mod lockstep;
+pub mod mutate;
 pub mod ops;
 pub mod reference;
 pub mod shard;
 pub mod shrink;
 
+pub use campaign::{Campaign, CampaignConfig};
+pub use coverage::CoverageMap;
 pub use fuzz::Fuzzer;
 pub use lockstep::{Counterexample, Divergence, Harness, Model};
 pub use shrink::shrink;
 
-use crate::adapters::{
-    ProdBtbBuffer, ProdDis, ProdDisTable, ProdPrefetchBuffer, ProdProactive, ProdRlu, ProdSeqTable,
-    ProdSn4l,
-};
-use crate::fuzz::{
-    fuzz_proactive_config, FUZZ_BTB_BUF, FUZZ_PF_BUFFER_CAPACITY, FUZZ_TABLE_ENTRIES,
-};
-use crate::reference::{
-    RefBtbBuffer, RefDisEngine, RefDisTable, RefPrefetchBuffer, RefProactive, RefRlu, RefSeqTable,
-    RefSn4l, RefTag,
-};
+use crate::adapters::{ProdBtbBuffer, ProdDisTable, ProdPrefetchBuffer, ProdRlu, ProdSeqTable};
+use crate::fuzz::{FUZZ_BTB_BUF, FUZZ_PF_BUFFER_CAPACITY, FUZZ_TABLE_ENTRIES};
+use crate::reference::{RefBtbBuffer, RefDisTable, RefPrefetchBuffer, RefRlu, RefSeqTable, RefTag};
 use dcfb_cache::PrefetchBuffer;
 use dcfb_prefetch::{BtbPrefetchBuffer, DisTable, Rlu, SeqTable, TagPolicy};
 use std::fmt::Debug;
@@ -199,37 +197,12 @@ pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
     });
     checks.push(lockstep_result(&h, &fz.pf_buf_ops(n_ops)));
 
-    // ---- engine-level lockstep (shared adversarial layout) ----
+    // ---- engine-level lockstep (shared adversarial layout; the same
+    // harness trio the fuzz campaign evaluates against) ----
     let layout = fz.layout();
-
-    let h = Harness::new("sn4l", || {
-        (
-            Box::new(RefSn4l::new(FUZZ_TABLE_ENTRIES)) as _,
-            Box::new(ProdSn4l::new(FUZZ_TABLE_ENTRIES)) as _,
-        )
-    });
-    checks.push(lockstep_result(&h, &fz.engine_ops(&layout, n_ops)));
-
-    let dis_layout = layout.clone();
-    let h = Harness::new("dis", move || {
-        (
-            Box::new(RefDisEngine::new(FUZZ_TABLE_ENTRIES, dis_layout.clone())) as _,
-            Box::new(ProdDis::new(FUZZ_TABLE_ENTRIES, &dis_layout)) as _,
-        )
-    });
-    checks.push(lockstep_result(&h, &fz.engine_ops(&layout, n_ops)));
-
-    let pro_layout = layout.clone();
-    let h = Harness::new("proactive", move || {
-        (
-            Box::new(RefProactive::new(
-                fuzz_proactive_config(),
-                pro_layout.clone(),
-            )) as _,
-            Box::new(ProdProactive::new(fuzz_proactive_config(), &pro_layout)) as _,
-        )
-    });
-    checks.push(lockstep_result(&h, &fz.engine_ops(&layout, n_ops)));
+    for h in campaign::engine_harnesses(&layout) {
+        checks.push(lockstep_result(&h, &fz.engine_ops(&layout, n_ops)));
+    }
 
     // ---- cross-prefetcher invariants ----
     checks.push(invariant_result(
@@ -259,6 +232,11 @@ pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
         "shard-parity",
         shard::check_shard_parity(),
     ));
+    // ---- checked-in minimized fuzz corpus still passes lockstep ----
+    checks.push(invariant_result(
+        "corpus-replay",
+        corpus::check_corpus_replay(),
+    ));
 
     ConformanceReport {
         seed,
@@ -277,10 +255,11 @@ mod tests {
         let report = run_full_suite(5, 300);
         let rendered = report.render();
         assert!(report.passed(), "conformance suite failed:\n{rendered}");
-        assert_eq!(report.checks.len(), 14);
+        assert_eq!(report.checks.len(), 15);
         assert!(rendered.contains("lockstep/proactive"));
         assert!(rendered.contains("invariant/digest-parity"));
         assert!(rendered.contains("invariant/shard-parity"));
+        assert!(rendered.contains("invariant/corpus-replay"));
         assert!(rendered.contains("all checks passed"));
     }
 }

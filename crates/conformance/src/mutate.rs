@@ -1,0 +1,309 @@
+//! The mutation engine over [`EngineOp`] sequences.
+//!
+//! The campaign breeds new inputs from the corpus instead of always
+//! generating from scratch: five operators — **splice** (insert a
+//! window of one parent into another), **duplicate** (repeat a window
+//! in place), **slot-tweak** (perturb one op's fields toward the
+//! adversarial families), **layout crossover** (swap the ops touching
+//! one layout family between parents), and **havoc** (a stack of random
+//! edits plus fresh generator material). Everything runs off the
+//! vendored seeded rand, so a [`Mutator`] seeded identically produces
+//! identical children — campaigns replay bit-for-bit from `--seed`.
+
+use crate::fuzz::{derive_seed, Fuzzer};
+use crate::ops::{CodeLayout, EngineOp, RecentBranch};
+use dcfb_frontend::BtbEntry;
+use dcfb_trace::Block;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hard cap on child length: mutation can grow inputs (splice,
+/// duplicate), but unbounded growth would starve the budget.
+pub const MAX_INPUT_LEN: usize = 1024;
+
+/// The five operators, for reporting.
+pub const OPERATOR_NAMES: [&str; 5] = [
+    "splice",
+    "duplicate",
+    "slot-tweak",
+    "layout-crossover",
+    "havoc",
+];
+
+/// A seeded mutation engine.
+pub struct Mutator {
+    rng: SmallRng,
+}
+
+impl Mutator {
+    /// Creates a mutator; children are a pure function of `seed`, the
+    /// parents, and the call sequence.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A block drawn from the adversarial families (mirrors the
+    /// generator's families so tweaks stay in interesting territory).
+    fn family_block(&mut self) -> Block {
+        match self.rng.gen_range(0..7u32) {
+            0 => 1000 + self.rng.gen_range(0..36u64), // chain + overrun
+            1 => 8 + self.rng.gen_range(0..8u64) * 64, // alias family
+            2 => 500 + self.rng.gen_range(0..16u64),  // storm
+            3 => 700 + self.rng.gen_range(0..8u64),   // indirects
+            4 => 300 + self.rng.gen_range(0..16u64),  // alias targets
+            5 => self.rng.gen_range(0..64u64),        // dense low region
+            _ => self.rng.gen_range(0..1u64 << 38),   // far
+        }
+    }
+
+    /// A recent-branch event: usually a real branch from the layout,
+    /// sometimes a phantom one.
+    fn branch(&mut self, layout: &CodeLayout) -> RecentBranch {
+        let branches: Vec<&BtbEntry> = layout.code.values().flatten().collect();
+        if !branches.is_empty() && self.rng.gen_bool(0.7) {
+            let e = branches[self.rng.gen_range(0..branches.len() as u64) as usize];
+            RecentBranch {
+                pc: e.pc,
+                target: e.target,
+            }
+        } else {
+            let b = self.family_block();
+            RecentBranch {
+                pc: b * 64 + self.rng.gen_range(0..16u64) * 4,
+                target: self.family_block() * 64,
+            }
+        }
+    }
+
+    /// Perturbs one field of `op` (flip a flag, nudge the block toward
+    /// a family or an alias neighbor, add/drop/retarget the branch).
+    fn tweak_op(&mut self, op: &mut EngineOp, layout: &CodeLayout) {
+        match op {
+            EngineOp::Demand {
+                block,
+                hit,
+                hit_was_prefetched,
+                branch,
+            } => match self.rng.gen_range(0..6u32) {
+                0 => {
+                    *hit = !*hit;
+                    *hit_was_prefetched = *hit && *hit_was_prefetched;
+                }
+                1 => *hit_was_prefetched = *hit && !*hit_was_prefetched,
+                2 => *block = block.wrapping_add(1),
+                3 => *block = self.family_block(),
+                4 => {
+                    *branch = if branch.is_some() {
+                        None
+                    } else {
+                        Some(self.branch(layout))
+                    }
+                }
+                _ => {
+                    if let Some(b) = branch {
+                        b.target = self.family_block() * 64;
+                    } else {
+                        *branch = Some(self.branch(layout));
+                    }
+                }
+            },
+            EngineOp::Fill {
+                block,
+                was_prefetch,
+            } => {
+                if self.rng.gen_bool(0.5) {
+                    *was_prefetch = !*was_prefetch;
+                } else {
+                    *block = self.family_block();
+                }
+            }
+            EngineOp::Evict { block, useless } => {
+                if self.rng.gen_bool(0.5) {
+                    *useless = !*useless;
+                } else {
+                    *block = self.family_block();
+                }
+            }
+            EngineOp::Tick => {
+                // Ticks carry no fields; replace with a demand so the
+                // tweak always changes behavior.
+                *op = EngineOp::Demand {
+                    block: self.family_block(),
+                    hit: self.rng.gen_bool(0.5),
+                    hit_was_prefetched: false,
+                    branch: None,
+                };
+            }
+        }
+    }
+
+    /// A random non-empty window of `ops`.
+    fn window(&mut self, ops: &[EngineOp]) -> (usize, usize) {
+        let len = ops.len().max(1);
+        let start = self.rng.gen_range(0..len as u64) as usize;
+        let max = (len - start).clamp(1, 64);
+        let span = self.rng.gen_range(1..=max as u64) as usize;
+        (start, start + span)
+    }
+
+    fn splice(&mut self, a: &[EngineOp], b: &[EngineOp]) -> Vec<EngineOp> {
+        let mut out = a.to_vec();
+        if b.is_empty() {
+            return out;
+        }
+        let (s, e) = self.window(b);
+        let at = self.rng.gen_range(0..=out.len() as u64) as usize;
+        out.splice(at..at, b[s..e].iter().cloned());
+        out
+    }
+
+    fn duplicate(&mut self, a: &[EngineOp]) -> Vec<EngineOp> {
+        let mut out = a.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        let (s, e) = self.window(a);
+        let at = e.min(out.len());
+        out.splice(at..at, a[s..e].iter().cloned());
+        out
+    }
+
+    fn slot_tweak(&mut self, a: &[EngineOp], layout: &CodeLayout) -> Vec<EngineOp> {
+        let mut out = a.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        let edits = self.rng.gen_range(1..=4u32);
+        for _ in 0..edits {
+            let i = self.rng.gen_range(0..out.len() as u64) as usize;
+            self.tweak_op(&mut out[i], layout);
+        }
+        out
+    }
+
+    /// Swaps the ops touching one layout family: positions of `a` whose
+    /// block falls in the chosen family take the same-position op from
+    /// `b` instead. Recombines which families each parent drives.
+    fn layout_crossover(&mut self, a: &[EngineOp], b: &[EngineOp]) -> Vec<EngineOp> {
+        fn op_block(op: &EngineOp) -> Option<Block> {
+            match op {
+                EngineOp::Demand { block, .. }
+                | EngineOp::Fill { block, .. }
+                | EngineOp::Evict { block, .. } => Some(*block),
+                EngineOp::Tick => None,
+            }
+        }
+        // Family predicate by representative base block.
+        let fam = self.rng.gen_range(0..5u32);
+        let in_family = |block: Block| match fam {
+            0 => (1000..1036).contains(&block),
+            1 => (8..=8 + 7 * 64).contains(&block) && (block - 8).is_multiple_of(64),
+            2 => (500..516).contains(&block),
+            3 => (700..708).contains(&block),
+            _ => block < 64,
+        };
+        a.iter()
+            .enumerate()
+            .map(|(i, op)| match (op_block(op), b.get(i)) {
+                (Some(block), Some(other)) if in_family(block) => other.clone(),
+                _ => op.clone(),
+            })
+            .collect()
+    }
+
+    fn havoc(&mut self, a: &[EngineOp], b: &[EngineOp], layout: &CodeLayout) -> Vec<EngineOp> {
+        let mut out = a.to_vec();
+        let rounds = self.rng.gen_range(2..=6u32);
+        for _ in 0..rounds {
+            out = match self.rng.gen_range(0..4u32) {
+                0 => self.splice(&out, b),
+                1 => self.duplicate(&out),
+                2 => self.slot_tweak(&out, layout),
+                _ => {
+                    // Fresh generator material, seeded off this
+                    // mutator's stream so it stays deterministic.
+                    let n = self.rng.gen_range(4..=32u64) as usize;
+                    let mut fz = Fuzzer::new(derive_seed(self.rng.gen(), 0x4a0c, 0));
+                    self.splice(&out, &fz.engine_ops(layout, n))
+                }
+            };
+        }
+        out
+    }
+
+    /// Breeds one child from parents `a` and `b` with a uniformly
+    /// chosen operator; the result is non-empty and capped at
+    /// [`MAX_INPUT_LEN`].
+    pub fn mutate(&mut self, a: &[EngineOp], b: &[EngineOp], layout: &CodeLayout) -> Vec<EngineOp> {
+        let mut out = match self.rng.gen_range(0..5u32) {
+            0 => self.splice(a, b),
+            1 => self.duplicate(a),
+            2 => self.slot_tweak(a, layout),
+            3 => self.layout_crossover(a, b),
+            _ => self.havoc(a, b, layout),
+        };
+        out.truncate(MAX_INPUT_LEN);
+        if out.is_empty() {
+            let mut fz = Fuzzer::new(derive_seed(self.rng.gen(), 0xF2E5, 1));
+            out = fz.engine_ops(layout, 16);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn parents(layout: &CodeLayout) -> (Vec<EngineOp>, Vec<EngineOp>) {
+        let mut fz = Fuzzer::new(21);
+        (fz.engine_ops(layout, 60), fz.engine_ops(layout, 60))
+    }
+
+    #[test]
+    fn same_seed_same_children() {
+        let layout = Fuzzer::new(21).layout();
+        let (a, b) = parents(&layout);
+        let run = |seed| {
+            let mut m = Mutator::new(seed);
+            format!(
+                "{:?}",
+                (0..20)
+                    .map(|_| m.mutate(&a, &b, &layout))
+                    .collect::<Vec<_>>()
+            )
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn children_are_bounded_and_non_empty() {
+        let layout = Fuzzer::new(21).layout();
+        let (a, b) = parents(&layout);
+        let mut m = Mutator::new(9);
+        for _ in 0..200 {
+            let child = m.mutate(&a, &b, &layout);
+            assert!(!child.is_empty());
+            assert!(child.len() <= MAX_INPUT_LEN);
+        }
+        // Degenerate parents still produce something runnable.
+        let child = m.mutate(&[], &[], &layout);
+        assert!(!child.is_empty());
+    }
+
+    #[test]
+    fn children_eventually_differ_from_parents() {
+        let layout = Fuzzer::new(21).layout();
+        let (a, b) = parents(&layout);
+        let mut m = Mutator::new(5);
+        let changed = (0..50)
+            .map(|_| m.mutate(&a, &b, &layout))
+            .filter(|c| format!("{c:?}") != format!("{a:?}"))
+            .count();
+        assert!(changed > 40, "only {changed}/50 children differed");
+    }
+}

@@ -1,0 +1,141 @@
+//! A coverage-guided campaign must *find* an injected reference-model
+//! bug, not just re-check a fixed trace: evaluation here runs against a
+//! harness whose reference SN4L carries the classic §V-A off-by-one
+//! (`1..4` instead of `1..=4`), and a bounded campaign has to surface
+//! the divergence and hand back a counterexample shrunk to (essentially)
+//! a single demand.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dcfb_conformance::adapters::ProdSn4l;
+use dcfb_conformance::campaign::{evaluate_with, Campaign, CampaignConfig};
+use dcfb_conformance::fuzz::FUZZ_TABLE_ENTRIES;
+use dcfb_conformance::ops::EngineOp;
+use dcfb_conformance::reference::RefSeqTable;
+use dcfb_conformance::{Harness, Model};
+use dcfb_telemetry::PfSource;
+use std::collections::BTreeSet;
+
+/// A scratch SN4L with the intentional off-by-one: the next-4 window
+/// is coded as `1..4`, so the fourth successor is never prefetched.
+struct BuggySn4l {
+    table: RefSeqTable,
+    resident: BTreeSet<u64>,
+    issued: u64,
+    suppressed: u64,
+}
+
+impl BuggySn4l {
+    fn new(entries: usize) -> Self {
+        BuggySn4l {
+            table: RefSeqTable::new(entries),
+            resident: BTreeSet::new(),
+            issued: 0,
+            suppressed: 0,
+        }
+    }
+}
+
+impl Model for BuggySn4l {
+    type Op = EngineOp;
+
+    fn apply(&mut self, op: &EngineOp) -> String {
+        match op {
+            EngineOp::Demand {
+                block,
+                hit,
+                hit_was_prefetched,
+                ..
+            } => {
+                if *hit {
+                    self.resident.insert(*block);
+                } else {
+                    self.resident.remove(block);
+                }
+                if !*hit || *hit_was_prefetched {
+                    self.table.set(*block);
+                }
+                let mut out = Vec::new();
+                for d in 1..4u64 {
+                    // BUG: should be 1..=4 — SN4L, not SN3L.
+                    let cand = block + d;
+                    if !self.table.is_useful(cand) {
+                        self.suppressed += 1;
+                        continue;
+                    }
+                    if !self.resident.contains(&cand) {
+                        self.resident.insert(cand);
+                        self.issued += 1;
+                        out.push(format!("{cand}+0:{:?}", PfSource::Sn4l));
+                    }
+                }
+                format!("issued=[{}]", out.join(","))
+            }
+            EngineOp::Fill { block, .. } => {
+                self.resident.insert(*block);
+                "issued=[]".to_owned()
+            }
+            EngineOp::Tick => "issued=[]".to_owned(),
+            EngineOp::Evict { block, useless } => {
+                self.resident.remove(block);
+                if *useless {
+                    self.table.reset(*block);
+                }
+                String::new()
+            }
+        }
+    }
+
+    fn finish(&mut self) -> String {
+        format!(
+            "issued={} suppressed={} disabled={:?}",
+            self.issued,
+            self.suppressed,
+            self.table.disabled()
+        )
+    }
+}
+
+#[test]
+fn bounded_campaign_finds_and_shrinks_the_injected_off_by_one() {
+    let cfg = CampaignConfig {
+        seed: 42,
+        total_ops: 200_000,
+        input_len: 128,
+        batch_size: 32,
+    };
+    let mut campaign = Campaign::new(cfg).unwrap();
+    let harnesses = vec![Harness::new("sn4l-injected-bug", || {
+        (
+            Box::new(BuggySn4l::new(FUZZ_TABLE_ENTRIES)) as _,
+            Box::new(ProdSn4l::new(FUZZ_TABLE_ENTRIES)) as _,
+        )
+    })];
+    while !campaign.done() {
+        let batch = campaign.next_batch();
+        let layout = campaign.layout().clone();
+        let outcomes = batch
+            .into_iter()
+            .map(|ops| evaluate_with(&layout, ops, &harnesses))
+            .collect();
+        campaign.absorb(outcomes);
+    }
+
+    let ce = campaign
+        .counterexample()
+        .expect("the campaign must find the off-by-one well inside the budget");
+    assert!(
+        ce.ops.len() <= 3,
+        "expected a <=3-op shrunk counterexample, got {} ops:\n{ce}",
+        ce.ops.len()
+    );
+    assert!(
+        ce.ops.iter().any(|o| o.starts_with("Demand")),
+        "the minimal reproducer must contain a demand:\n{ce}"
+    );
+    let d = &ce.divergence;
+    assert_ne!(d.reference, d.production);
+    // Production (correct) issues one more prefetch than the buggy copy.
+    let issues = |s: &str| s.matches("Sn4l").count();
+    assert_eq!(issues(&d.production), issues(&d.reference) + 1, "{ce}");
+}

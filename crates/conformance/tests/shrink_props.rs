@@ -1,0 +1,125 @@
+//! Property tests for the ddmin shrinker over seeded synthetic
+//! predicates: the shrunk sequence still fails, is 1-minimal (dropping
+//! any single element un-fails it), and re-shrinking is a fixpoint.
+//! The predicate families exercise the shapes lockstep failures take:
+//! single culprits, required subsets, ordered pairs, and
+//! threshold-count failures.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use dcfb_conformance::shrink;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic synthetic predicate over `u32` sequences.
+enum Predicate {
+    /// Fails iff every listed element is present.
+    RequiredSet(Vec<u32>),
+    /// Fails iff `a` appears somewhere before `b`.
+    OrderedPair(u32, u32),
+    /// Fails iff at least `n` elements satisfy `x % m == r`.
+    Threshold { m: u32, r: u32, n: usize },
+}
+
+impl Predicate {
+    fn fails(&self, s: &[u32]) -> bool {
+        match self {
+            Predicate::RequiredSet(need) => need.iter().all(|x| s.contains(x)),
+            Predicate::OrderedPair(a, b) => {
+                match (s.iter().position(|x| x == a), s.iter().position(|x| x == b)) {
+                    (Some(i), Some(j)) => i < j,
+                    _ => false,
+                }
+            }
+            Predicate::Threshold { m, r, n } => s.iter().filter(|x| *x % m == *r).count() >= *n,
+        }
+    }
+}
+
+/// Generates `(input, predicate)` pairs where the predicate fails on
+/// the input by construction.
+fn failing_case(rng: &mut SmallRng) -> (Vec<u32>, Predicate) {
+    let len = rng.gen_range(5..120) as usize;
+    let mut input: Vec<u32> = (0..len).map(|_| rng.gen_range(0..200) as u32).collect();
+    match rng.gen_range(0..3) {
+        0 => {
+            // Plant 1–4 required values at random positions (distinct
+            // from the background range so duplicates can't mask them).
+            let k = rng.gen_range(1..5) as usize;
+            let need: Vec<u32> = (0..k).map(|i| 1_000 + i as u32).collect();
+            for x in &need {
+                let at = rng.gen_range(0..input.len() as u64) as usize;
+                input.insert(at, *x);
+            }
+            (input, Predicate::RequiredSet(need))
+        }
+        1 => {
+            let (a, b) = (2_000, 2_001);
+            let i = rng.gen_range(0..input.len() as u64) as usize;
+            input.insert(i, a);
+            let j = rng.gen_range(i as u64 + 1..input.len() as u64 + 1) as usize;
+            input.insert(j, b);
+            (input, Predicate::OrderedPair(a, b))
+        }
+        _ => {
+            let m = rng.gen_range(2..7) as u32;
+            let r = rng.gen_range(0..u64::from(m)) as u32;
+            let have = input.iter().filter(|x| *x % m == r).count();
+            let n = if have == 0 {
+                0
+            } else {
+                rng.gen_range(1..have as u64 + 1) as usize
+            };
+            (input, Predicate::Threshold { m, r, n })
+        }
+    }
+}
+
+#[test]
+fn shrink_output_still_fails() {
+    let mut rng = SmallRng::seed_from_u64(0xD011);
+    for _ in 0..60 {
+        let (input, p) = failing_case(&mut rng);
+        assert!(p.fails(&input), "generator must produce failing inputs");
+        let min = shrink(&input, &|s| p.fails(s));
+        assert!(p.fails(&min), "shrunk sequence no longer fails");
+        assert!(min.len() <= input.len());
+    }
+}
+
+#[test]
+fn shrink_output_is_one_minimal() {
+    let mut rng = SmallRng::seed_from_u64(0xD012);
+    for _ in 0..60 {
+        let (input, p) = failing_case(&mut rng);
+        let min = shrink(&input, &|s| p.fails(s));
+        for drop in 0..min.len() {
+            let mut sub = min.clone();
+            sub.remove(drop);
+            assert!(
+                !p.fails(&sub),
+                "dropping element {drop} of {min:?} still fails — not 1-minimal"
+            );
+        }
+    }
+}
+
+#[test]
+fn shrink_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xD013);
+    for _ in 0..60 {
+        let (input, p) = failing_case(&mut rng);
+        let once = shrink(&input, &|s| p.fails(s));
+        let twice = shrink(&once, &|s| p.fails(s));
+        assert_eq!(once, twice, "re-shrinking must be a fixpoint");
+    }
+}
+
+#[test]
+fn shrink_returns_passing_inputs_unchanged() {
+    let input: Vec<u32> = (0..40).collect();
+    let never = |_: &[u32]| false;
+    assert_eq!(shrink(&input, &never), input);
+    let empty: Vec<u32> = Vec::new();
+    assert_eq!(shrink(&empty, &|s: &[u32]| s.is_empty()), empty);
+}

@@ -62,11 +62,17 @@ pub enum Ctr {
     /// Result-cache entries evicted under the byte budget (including
     /// entries dropped by the integrity check).
     ServeEvictions,
+    /// Fuzz campaign candidates evaluated.
+    FuzzCandidates,
+    /// Fuzz inputs admitted to the corpus (coverage-increasing).
+    FuzzCorpusAdmissions,
+    /// Lockstep divergences found by fuzz campaigns.
+    FuzzDivergences,
 }
 
 impl Ctr {
     /// Number of counters.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// All counters, in index order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -95,6 +101,9 @@ impl Ctr {
         Ctr::ServeCacheHits,
         Ctr::ServeCoalesced,
         Ctr::ServeEvictions,
+        Ctr::FuzzCandidates,
+        Ctr::FuzzCorpusAdmissions,
+        Ctr::FuzzDivergences,
     ];
 
     /// Stable machine-readable name (used in the metrics schema).
@@ -125,6 +134,9 @@ impl Ctr {
             Ctr::ServeCacheHits => "serve_cache_hits",
             Ctr::ServeCoalesced => "serve_coalesced",
             Ctr::ServeEvictions => "serve_evictions",
+            Ctr::FuzzCandidates => "fuzz_candidates",
+            Ctr::FuzzCorpusAdmissions => "fuzz_corpus_admissions",
+            Ctr::FuzzDivergences => "fuzz_divergences",
         }
     }
 }
