@@ -35,7 +35,7 @@ use dcfb_telemetry::{CounterSet, Ctr};
 use dcfb_trace::{
     write_binary_v2, FaultyReader, FaultyStream, IsaMode, ReadMode, RecordedCode, StreamFault,
 };
-use dcfb_workloads::{all_workloads, ProgramImage, Walker, Workload};
+use dcfb_workloads::{all_workloads, ProgramImage, Walker};
 use std::io::Cursor;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -193,7 +193,7 @@ fn chaos_config(method: &str) -> Result<SimConfig, DcfbError> {
 
 fn run_err(job: &JobEnvelope, message: String) -> DcfbError {
     DcfbError::Run {
-        workload: job.workload.name.to_owned(),
+        workload: job.workload.clone(),
         method: job.method.clone(),
         message,
     }
@@ -215,7 +215,7 @@ fn merge_counters(acc: &mut CounterSet, more: &CounterSet) {
 struct Campaign {
     opts: ChaosOptions,
     image: Arc<ProgramImage>,
-    label_workload: Workload,
+    label_workload: String,
     rows: Vec<ChaosRow>,
     counters: CounterSet,
     failures: Vec<String>,
@@ -223,7 +223,7 @@ struct Campaign {
 
 impl Campaign {
     fn envelope(&self, method: &str) -> JobEnvelope {
-        JobEnvelope::new(self.label_workload.clone(), method)
+        JobEnvelope::new(self.label_workload.as_str(), method)
     }
 
     fn fail(&mut self, what: impl Into<String>) {
@@ -302,7 +302,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
         image: fixture_image(),
         // Envelopes need a workload label; the chaos fixture is the
         // conformance image, so the catalog entry is a label only.
-        label_workload: all_workloads().remove(0),
+        label_workload: all_workloads().remove(0).name.to_owned(),
         rows: Vec::new(),
         counters: CounterSet::new(),
         failures: Vec::new(),
@@ -443,7 +443,7 @@ fn phase_faults(c: &mut Campaign, sup: &Supervisor, golds: &[(&'static str, &'st
             let _ = sim.run(&mut walker);
             if sim.interrupted() {
                 return Err(DcfbError::Timeout {
-                    workload: env.workload.name.to_owned(),
+                    workload: env.workload.clone(),
                     method: env.method.clone(),
                     deadline: Deadline::Instrs(TINY_BUDGET).describe(),
                 });
@@ -477,7 +477,7 @@ fn phase_faults(c: &mut Campaign, sup: &Supervisor, golds: &[(&'static str, &'st
         let _ = sim.run(&mut walker);
         if sim.interrupted() {
             return Err(DcfbError::Timeout {
-                workload: env.workload.name.to_owned(),
+                workload: env.workload.clone(),
                 method: env.method.clone(),
                 deadline: env.deadline.describe(),
             });
@@ -552,7 +552,7 @@ fn phase_faults(c: &mut Campaign, sup: &Supervisor, golds: &[(&'static str, &'st
             .ok_or_else(|| run_err(env, "salvaged trace is empty".into()))?;
         let cfg = chaos_config(&env.method)?;
         let code = Arc::new(RecordedCode::from_trace(trace.instrs()));
-        let mut sim = Simulator::try_with_code(cfg, code, first.pc, env.workload.name.to_owned())?;
+        let mut sim = Simulator::try_with_code(cfg, code, first.pc, env.workload.clone())?;
         sim.attach_control(attempt.control.clone());
         let mut replayer = trace.replay();
         let rep = sim.run(&mut replayer);

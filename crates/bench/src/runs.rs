@@ -5,7 +5,7 @@ use dcfb_errors::{panic_message, DcfbError};
 use dcfb_sim::{SimConfig, SimReport, Simulator};
 use dcfb_telemetry::TelemetryReport;
 use dcfb_trace::IsaMode;
-use dcfb_workloads::{all_workloads, ProgramImage, Walker, Workload};
+use dcfb_workloads::{all_workloads, ProgramImage, ResolvedWorkload, SourceSpec, Walker, Workload};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -154,6 +154,25 @@ fn lock_cache<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub fn image_for(workload: &Workload, isa: IsaMode) -> Arc<ProgramImage> {
     let cell = once_cell_for(image_cache(), (workload.name.to_owned(), isa));
     Arc::clone(cell.get_or_init(|| workload.image(isa)))
+}
+
+/// Resolves a workload-source spec through the registry, routing
+/// synthetic names through the process-wide image cache (so supervised
+/// batches and the job server share one image per workload, exactly as
+/// [`run`] does). `mix:` and `trace:` specs resolve fresh each call.
+///
+/// # Errors
+///
+/// Everything [`SourceSpec::parse`] and [`SourceSpec::resolve`] report:
+/// unknown names, malformed mix options, unreadable or damaged traces.
+pub fn resolved_for(name: &str, isa: IsaMode) -> Result<ResolvedWorkload, DcfbError> {
+    let spec = SourceSpec::parse(name)?;
+    if let SourceSpec::Synthetic(n) = &spec {
+        if let Some(w) = dcfb_workloads::workload(n) {
+            return Ok(ResolvedWorkload::from_image(image_for(&w, isa)));
+        }
+    }
+    spec.resolve(isa)
 }
 
 /// Runs `cfg` on `workload` (cached image, fixed trace seed).

@@ -33,7 +33,6 @@ use crate::sweep::parallel_map_jobs;
 use dcfb_errors::{panic_message, DcfbError};
 use dcfb_sim::{RunControl, SimReport, Simulator};
 use dcfb_telemetry::{CounterSet, Ctr};
-use dcfb_workloads::{Walker, Workload};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -89,12 +88,15 @@ impl Deadline {
     }
 }
 
-/// One unit of supervised work: a `(workload, method)` pair plus the
-/// deadline its attempts run under.
+/// One unit of supervised work: a `(workload-source, method)` pair plus
+/// the deadline its attempts run under. The workload is any spec the
+/// workload-source registry accepts — a synthetic name, a `mix:`
+/// interleaving, or a `trace:` replay — so every source is supervisable
+/// and quarantinable.
 #[derive(Clone, Debug)]
 pub struct JobEnvelope {
-    /// The workload to simulate.
-    pub workload: Workload,
+    /// The workload-source spec to simulate.
+    pub workload: String,
     /// Registry method name.
     pub method: String,
     /// Per-attempt deadline.
@@ -103,9 +105,9 @@ pub struct JobEnvelope {
 
 impl JobEnvelope {
     /// An envelope with the supervisor's default deadline.
-    pub fn new(workload: Workload, method: &str) -> JobEnvelope {
+    pub fn new(workload: impl Into<String>, method: &str) -> JobEnvelope {
         JobEnvelope {
-            workload,
+            workload: workload.into(),
             method: method.to_owned(),
             deadline: Deadline::Unbounded,
         }
@@ -113,7 +115,7 @@ impl JobEnvelope {
 
     /// Stable job identifier: `method/workload`.
     pub fn id(&self) -> String {
-        format!("{}/{}", self.method, self.workload.name)
+        format!("{}/{}", self.method, self.workload)
     }
 
     /// 16-hex-digit digest of the job's effective configuration — the
@@ -124,7 +126,7 @@ impl JobEnvelope {
         let cfg = runs::try_method_config(&self.method)
             .map(|c| format!("{c:?}"))
             .unwrap_or_else(|e| format!("invalid:{e}"));
-        let h = hash_str(&format!("{}|{}|{cfg}", self.method, self.workload.name));
+        let h = hash_str(&format!("{}|{}|{cfg}", self.method, self.workload));
         format!("{h:016x}")
     }
 }
@@ -400,18 +402,24 @@ impl Supervisor {
     }
 
     /// Runs the default simulation (identical to [`crate::runs::run`]:
-    /// cached image, fixed trace seed) for every envelope.
+    /// registry-resolved source, cached image for synthetic names, fixed
+    /// trace seed) for every envelope.
     pub fn run(&self, jobs: Vec<JobEnvelope>) -> SupervisionReport<SimReport> {
         self.run_with(jobs, |env, attempt| {
             let cfg = runs::try_method_config(&env.method)?;
-            let image = runs::image_for(&env.workload, cfg.isa);
-            let mut sim = Simulator::try_new(cfg, Arc::clone(&image))?;
+            let resolved = runs::resolved_for(&env.workload, cfg.isa)?;
+            let mut sim = Simulator::try_with_code(
+                cfg,
+                resolved.code(),
+                resolved.start_pc(),
+                resolved.name().to_owned(),
+            )?;
             sim.attach_control(attempt.control.clone());
-            let mut walker = Walker::new(image, TRACE_SEED);
-            let report = sim.run(&mut walker);
+            let mut stream = resolved.stream(TRACE_SEED);
+            let report = sim.run(&mut stream);
             if sim.interrupted() {
                 return Err(DcfbError::Timeout {
-                    workload: env.workload.name.to_owned(),
+                    workload: env.workload.clone(),
                     method: env.method.clone(),
                     deadline: self.effective_deadline(env).describe(),
                 });
@@ -574,7 +582,7 @@ mod tests {
     }
 
     fn small_env(method: &str) -> JobEnvelope {
-        JobEnvelope::new(runs::workloads()[0].clone(), method)
+        JobEnvelope::new(runs::workloads()[0].name, method)
     }
 
     #[test]
@@ -709,7 +717,7 @@ mod tests {
             let report = sup.run(
                 methods
                     .iter()
-                    .map(|m| JobEnvelope::new(w.clone(), m))
+                    .map(|m| JobEnvelope::new(w.name, m))
                     .collect(),
             );
             assert!(report.accounted());
@@ -738,7 +746,7 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err::<u32, DcfbError>(DcfbError::Timeout {
-                workload: env.workload.name.to_owned(),
+                workload: env.workload.clone(),
                 method: env.method.clone(),
                 deadline: env.deadline.describe(),
             })
@@ -751,7 +759,7 @@ mod tests {
     #[test]
     fn envelope_identity() {
         let env = small_env("SN4L");
-        assert_eq!(env.id(), format!("SN4L/{}", env.workload.name));
+        assert_eq!(env.id(), format!("SN4L/{}", env.workload));
         let d = env.config_digest();
         assert_eq!(d.len(), 16);
         assert_eq!(d, env.config_digest(), "digest is stable");

@@ -26,8 +26,14 @@ COMMANDS:
                          BENCH_sweep.json (--out overrides). Scale and
                          worker count come from DCFB_WARMUP,
                          DCFB_MEASURE, DCFB_WORKLOADS and DCFB_JOBS
-    record               Write a workload trace to a file
+    record               Write a workload trace to a file (any source:
+                         synthetic, mix:, or trace:)
     replay               Simulate an external trace file
+    import               Convert a ChampSim-style record file (--trace)
+                         into a checksummed v2 trace (--out); the result
+                         runs everywhere via --workload trace:PATH.
+                         --lenient salvages the longest well-formed
+                         prefix of a damaged input
     conformance          Lockstep-check the prefetch structures against
                          executable reference models over fuzzed op
                          streams, plus cross-prefetcher invariants;
@@ -61,7 +67,10 @@ COMMANDS:
     help                 Show this message
 
 OPTIONS:
-    --workload <NAME>    Table IV workload name (required except `list`)
+    --workload <SPEC>    Workload source (required except `list`): a
+                         Table IV workload name, a multi-tenant mix
+                         `mix:NAME_A+NAME_B[,quantum=N]`, or an on-disk
+                         trace `trace:PATH` (see `dcfb import`)
     --method <NAME>      Method for `run` (default SN4L+Dis+BTB)
     --methods <A,B,C>    Comma-separated list for `compare`
     --warmup <N>         Warmup instructions (default 500000)
@@ -70,14 +79,15 @@ OPTIONS:
     --isa <fixed|variable>  Instruction encoding (default fixed)
     --json               Machine-readable output (for `run`)
     --out <FILE>         Output path for `record` / prefix for `profile`
-    --trace <FILE>       Input path for `replay`
+    --trace <FILE>       Input path for `replay` / `import`
     --format <binary|text>  Trace format for `record` (default binary)
     --ops <N>            Fuzzed ops per structure for `conformance`,
                          total op budget for `fuzz` (default 10000;
                          zero is a configuration error, exit 3)
-    --lenient            For `replay`: salvage the valid prefix of a
-                         damaged trace instead of failing (default is
-                         strict: any corruption is an error, exit 3)
+    --lenient            For `replay` / `import`: salvage the valid
+                         prefix of a damaged input instead of failing
+                         (default is strict: any corruption is an
+                         error, exit 3)
     --quick              For `chaos` / `fuzz`: run the reduced smoke
                          campaign
     --jobs <N>           For `fuzz`: worker threads for candidate
@@ -311,29 +321,48 @@ impl Cli {
         Ok(cli)
     }
 
-    /// The workload, as a typed error when missing or unknown.
+    /// The workload-source spec, as a typed error when missing or
+    /// unknown. Both error paths enumerate every registry source —
+    /// the seven synthetic names plus the `mix:` and `trace:`
+    /// syntaxes — not just the synthetic catalog.
     ///
     /// # Errors
     ///
     /// [`DcfbError::Usage`] when `--workload` was not given (exit 2),
-    /// [`DcfbError::UnknownWorkload`] for an unrecognized name
+    /// [`DcfbError::UnknownWorkload`] for an unrecognized name and
+    /// [`DcfbError::Config`] for a malformed `mix:`/`trace:` spec
     /// (exit 3).
-    pub fn require_workload(&self) -> Result<dcfb_workloads::Workload, DcfbError> {
-        let names = || {
-            dcfb_workloads::workload_names()
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect::<Vec<_>>()
-        };
+    pub fn require_source(&self) -> Result<dcfb_workloads::SourceSpec, DcfbError> {
         let Some(name) = &self.workload else {
             return Err(DcfbError::Usage(format!(
                 "--workload is required for this command; available: {:?}",
-                names()
+                dcfb_workloads::source_names()
+            )));
+        };
+        dcfb_workloads::SourceSpec::parse(name)
+    }
+
+    /// Like [`Cli::require_source`], but restricted to the synthetic
+    /// catalog — for commands that need the program image itself
+    /// (`analyze`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Cli::require_source`] returns, plus
+    /// [`DcfbError::Config`] when the spec names a non-synthetic
+    /// source.
+    pub fn require_synthetic(&self) -> Result<dcfb_workloads::Workload, DcfbError> {
+        let spec = self.require_source()?;
+        let dcfb_workloads::SourceSpec::Synthetic(name) = &spec else {
+            return Err(DcfbError::Config(format!(
+                "this command needs a synthetic workload image; {:?} is a {} source",
+                spec.canonical_name(),
+                spec.source_kind()
             )));
         };
         dcfb_workloads::workload(name).ok_or_else(|| DcfbError::UnknownWorkload {
             name: name.clone(),
-            available: names(),
+            available: dcfb_workloads::source_names(),
         })
     }
 }
@@ -489,6 +518,49 @@ mod tests {
         assert_eq!(defaults.cache_budget, 8 << 20);
         assert!(parse(&["serve", "--queue-limit", "0"]).is_err());
         assert!(parse(&["serve", "--workers", "some"]).is_err());
+    }
+
+    #[test]
+    fn require_source_errors_enumerate_registry_sources() {
+        // Missing --workload: usage error (exit 2) listing all sources.
+        let err = parse(&["run"]).unwrap().require_source().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let DcfbError::Usage(msg) = &err else {
+            panic!("expected Usage, got {err:?}");
+        };
+        assert!(msg.contains("mix:NAME_A+NAME_B"), "{msg}");
+        assert!(msg.contains("trace:PATH"), "{msg}");
+        // Unknown name: typed error (exit 3) listing all sources.
+        let err = parse(&["run", "--workload", "nope"])
+            .unwrap()
+            .require_source()
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let DcfbError::UnknownWorkload { available, .. } = &err else {
+            panic!("expected UnknownWorkload, got {err:?}");
+        };
+        assert!(available.iter().any(|s| s.starts_with("mix:")));
+        assert!(available.iter().any(|s| s.starts_with("trace:")));
+        // Well-formed specs parse.
+        let spec = parse(&["run", "--workload", "mix:Web (Apache)+Web Search"])
+            .unwrap()
+            .require_source()
+            .unwrap();
+        assert_eq!(spec.source_kind(), "mix");
+    }
+
+    #[test]
+    fn require_synthetic_rejects_other_sources_with_typed_error() {
+        let err = parse(&["analyze", "--workload", "mix:Web (Apache)+Web Search"])
+            .unwrap()
+            .require_synthetic()
+            .unwrap_err();
+        assert!(matches!(err, DcfbError::Config(_)), "got {err:?}");
+        let w = parse(&["analyze", "--workload", "Web Search"])
+            .unwrap()
+            .require_synthetic()
+            .unwrap();
+        assert_eq!(w.name, "Web Search");
     }
 
     #[test]

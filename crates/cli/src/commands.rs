@@ -11,10 +11,11 @@ use dcfb_errors::DcfbError;
 use dcfb_frontend::ShotgunBtbConfig;
 use dcfb_sim::Simulator;
 use dcfb_sim::{
-    analysis, run_config, run_sharded, PrefetcherKind, ShardOptions, SimConfig, SimReport,
+    analysis, run_resolved, run_sharded_resolved, PrefetcherKind, ShardOptions, SimConfig,
+    SimReport,
 };
 use dcfb_trace::{CodeMemory, InstrStream, IsaMode, ReadMode, RecordedCode, VecTrace};
-use dcfb_workloads::{all_workloads, Walker};
+use dcfb_workloads::{all_workloads, Walker, MIX_SYNTAX, TRACE_SYNTAX};
 use std::sync::Arc;
 
 fn config_for(cli: &Cli, method: &str) -> Result<SimConfig, DcfbError> {
@@ -50,11 +51,15 @@ pub fn list() {
     for m in dcfb_prefetch::method_names() {
         println!("  {m}");
     }
+    println!("\nworkload sources (the registry behind --workload):");
+    println!("  NAME                            a synthetic workload from the table above");
+    println!("  {MIX_SYNTAX}    multi-tenant round-robin interleaving");
+    println!("  {TRACE_SYNTAX}");
 }
 
 /// `dcfb run`
 pub fn run(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
+    let spec = cli.require_source()?;
     let cfg = config_for(cli, &cli.method)?;
     let base_cfg = config_for(cli, "Baseline")?;
     // Shard arguments are range-checked here, at argument time, so
@@ -67,10 +72,10 @@ pub fn run(cli: &Cli) -> Result<(), DcfbError> {
         jobs: cli.shards,
     };
     shard_opts.validate(cfg.warmup_instrs)?;
-    let base = run_config(&w, base_cfg, cli.seed);
+    let resolved = spec.resolve(cfg.isa)?;
+    let base = run_resolved(&resolved, base_cfg, cli.seed)?;
     let r = if cli.shards > 1 {
-        let image = w.image(cfg.isa);
-        let sharded = run_sharded(&cfg, &image, cli.seed, &shard_opts)?;
+        let sharded = run_sharded_resolved(&cfg, &resolved, cli.seed, &shard_opts)?;
         if !cli.json {
             println!(
                 "sharded: {} shards (requested {}), warmup-overlap {}",
@@ -81,7 +86,7 @@ pub fn run(cli: &Cli) -> Result<(), DcfbError> {
         }
         sharded.merged
     } else {
-        run_config(&w, cfg, cli.seed)
+        run_resolved(&resolved, cfg, cli.seed)?
     };
     if cli.json {
         println!("{}", report_json(&r, Some(&base)).render());
@@ -93,15 +98,19 @@ pub fn run(cli: &Cli) -> Result<(), DcfbError> {
 
 /// `dcfb compare`
 pub fn compare(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
-    let base = run_config(&w, config_for(cli, "Baseline")?, cli.seed);
-    println!("workload: {} | baseline IPC {:.3}\n", w.name, base.ipc());
+    let resolved = cli.require_source()?.resolve(cli.isa)?;
+    let base = run_resolved(&resolved, config_for(cli, "Baseline")?, cli.seed)?;
+    println!(
+        "workload: {} | baseline IPC {:.3}\n",
+        resolved.name(),
+        base.ipc()
+    );
     println!(
         "{:14} {:>7} {:>8} {:>9} {:>9} {:>9}",
         "method", "IPC", "speedup", "coverage", "FSCR", "lookups"
     );
     for m in &cli.methods {
-        let r = run_config(&w, config_for(cli, m)?, cli.seed);
+        let r = run_resolved(&resolved, config_for(cli, m)?, cli.seed)?;
         println!(
             "{:14} {:7.3} {:7.2}x {:8.1}% {:8.1}% {:8.2}x",
             m,
@@ -117,7 +126,7 @@ pub fn compare(cli: &Cli) -> Result<(), DcfbError> {
 
 /// `dcfb analyze`
 pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
+    let w = cli.require_synthetic()?;
     let image = w.image(cli.isa);
     let (cond, uncond, indirect, rets) = image.branch_census();
     println!("workload: {}", w.name);
@@ -165,9 +174,9 @@ pub fn analyze(cli: &Cli) -> Result<(), DcfbError> {
 /// ways: a versioned-schema JSON metrics document, a CSV time series,
 /// and Chrome trace-event JSON (load in `chrome://tracing` / Perfetto).
 pub fn profile(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
     let cfg = config_for(cli, &cli.method)?;
-    let (r, telem) = dcfb_sim::run_config_profiled(&w, cfg, cli.seed);
+    let resolved = cli.require_source()?.resolve(cfg.isa)?;
+    let (r, telem) = dcfb_sim::run_resolved_profiled(&resolved, cfg, cli.seed)?;
     telem
         .doc
         .validate()
@@ -216,8 +225,8 @@ pub fn profile(cli: &Cli) -> Result<(), DcfbError> {
 
 /// `dcfb sweep-btb`
 pub fn sweep_btb(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
-    println!("workload: {}\n", w.name);
+    let resolved = cli.require_source()?.resolve(cli.isa)?;
+    println!("workload: {}\n", resolved.name());
     println!(
         "{:>10} {:>14} {:>10} {:>13} {:>16}",
         "BTB scale", "ours (IPC)", "Shotgun", "ours/Shotgun", "footprint miss"
@@ -225,10 +234,10 @@ pub fn sweep_btb(cli: &Cli) -> Result<(), DcfbError> {
     for scale in [1.0f64, 0.5, 0.25, 0.125] {
         let mut ours = config_for(cli, "SN4L+Dis+BTB")?;
         ours.btb.entries = ((ours.btb.entries as f64 * scale) as usize).max(64) / 4 * 4;
-        let ours_rep = run_config(&w, ours, cli.seed);
+        let ours_rep = run_resolved(&resolved, ours, cli.seed)?;
         let mut shot = config_for(cli, "Shotgun")?;
         shot.prefetcher = PrefetcherKind::Shotgun(ShotgunBtbConfig::scaled(scale));
-        let shot_rep = run_config(&w, shot, cli.seed);
+        let shot_rep = run_resolved(&resolved, shot, cli.seed)?;
         println!(
             "{:>10} {:>14.3} {:>10.3} {:>12.2}x {:>15.1}%",
             format!("{scale:.3}x"),
@@ -303,6 +312,13 @@ pub fn bench_sweep(cli: &Cli) -> Result<(), DcfbError> {
         "fuzz campaign: {:.0} candidate ops/s, {:.1}% of the coverage map lit",
         report.fuzz_ops_per_sec,
         report.fuzz_coverage_frac * 100.0
+    );
+    println!(
+        "tenant mix: {} {:.0} instrs/s, K=1 digest identity: {} (sources: {})",
+        report.mix_workload,
+        report.mix_single_run_ips,
+        report.mix_digest_identity,
+        report.workload_source_kinds
     );
     if !report.jobs_warning.is_empty() {
         eprintln!("warning: {}", report.jobs_warning);
@@ -422,21 +438,20 @@ fn report_json(r: &SimReport, base: Option<&SimReport>) -> JsonObject {
 
 /// `dcfb record`
 pub fn record(cli: &Cli) -> Result<(), DcfbError> {
-    let w = cli.require_workload()?;
+    let resolved = cli.require_source()?.resolve(cli.isa)?;
     let Some(out) = &cli.out else {
         return Err(DcfbError::Usage("--out is required for record".into()));
     };
-    let image = w.image(cli.isa);
-    let mut walker = Walker::new(image, cli.seed);
+    let mut stream = resolved.stream(cli.seed);
     // Skip the warmup region so the recorded window matches `run`.
     for _ in 0..cli.warmup {
-        walker.next_instr();
+        stream.next_instr();
     }
     let file = std::fs::File::create(out).map_err(|e| DcfbError::io(out, &e))?;
     let written = match cli.format.as_str() {
-        "text" => dcfb_trace::write_text(&mut walker, file, cli.measure),
+        "text" => dcfb_trace::write_text(&mut stream, file, cli.measure),
         _ => dcfb_trace::write_binary_v2(
-            &mut walker,
+            &mut stream,
             file,
             cli.measure,
             Some(cli.isa),
@@ -446,8 +461,58 @@ pub fn record(cli: &Cli) -> Result<(), DcfbError> {
     .map_err(|e| DcfbError::io(out, &e))?;
     println!(
         "wrote {written} instructions of {} to {out} ({})",
-        w.name, cli.format
+        resolved.name(),
+        cli.format
     );
+    Ok(())
+}
+
+/// `dcfb import` — convert a ChampSim-style 64-byte-record trace into
+/// the native trace v2 format, ready for `--workload trace:PATH` or
+/// `dcfb replay`. `--lenient` salvages a whole-record prefix from
+/// truncated input; the default strict mode rejects it with a typed
+/// error at the damaged byte offset.
+pub fn import(cli: &Cli) -> Result<(), DcfbError> {
+    let Some(path) = &cli.trace else {
+        return Err(DcfbError::Usage(
+            "--trace INPUT is required for import (a ChampSim-style 64-byte-record file)".into(),
+        ));
+    };
+    let Some(out) = &cli.out else {
+        return Err(DcfbError::Usage("--out is required for import".into()));
+    };
+    let data = std::fs::read(path).map_err(|e| DcfbError::io(path, &e))?;
+    let mode = if cli.lenient {
+        ReadMode::Lenient
+    } else {
+        ReadMode::Strict
+    };
+    let (trace, report) = dcfb_trace::import_champsim(&data, mode)?;
+    if let Some(reason) = &report.salvage {
+        eprintln!(
+            "warning: {path}: input damaged ({reason}); salvaged {} record(s)",
+            report.records
+        );
+    }
+    if trace.is_empty() {
+        return Err(DcfbError::Config(format!(
+            "{path}: no importable records; nothing to write"
+        )));
+    }
+    let file = std::fs::File::create(out).map_err(|e| DcfbError::io(out, &e))?;
+    let written = dcfb_trace::write_binary_v2(
+        &mut trace.replay(),
+        file,
+        trace.len() as u64,
+        None,
+        dcfb_trace::file::DEFAULT_CHUNK_RECORDS,
+    )
+    .map_err(|e| DcfbError::io(out, &e))?;
+    println!(
+        "imported {} record(s) ({} branches, {} discontinuities) -> {written} instructions in {out}",
+        report.records, report.branches, report.discontinuities
+    );
+    println!("replay with: dcfb run --workload \"trace:{out}\" --method SN4L+Dis+BTB");
     Ok(())
 }
 

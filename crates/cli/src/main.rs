@@ -9,6 +9,7 @@
 //! dcfb sweep-btb --workload "OLTP (DB A)" [options]
 //! dcfb bench-sweep [--out BENCH_sweep.json]
 //! dcfb record   --workload "Web (Zeus)" --out trace.dcfbt [options]
+//! dcfb import   --trace champsim.bin --out trace.dcfbt [--lenient]
 //! dcfb replay   --trace trace.dcfbt --method Shotgun [--lenient] [options]
 //! dcfb conformance [--seed N] [--ops N]
 //! dcfb fuzz     [--seed N] [--ops N] [--jobs N] [--quick]
@@ -55,6 +56,7 @@ fn main() {
         "sweep-btb" => commands::sweep_btb(&cli),
         "bench-sweep" => commands::bench_sweep(&cli),
         "record" => commands::record(&cli),
+        "import" => commands::import(&cli),
         "replay" => commands::replay(&cli),
         "conformance" => commands::conformance(&cli),
         "fuzz" => commands::fuzz(&cli),

@@ -90,6 +90,16 @@ fn parse_goldens() -> Result<Vec<(&'static str, &'static str)>, String> {
         .collect()
 }
 
+/// The blessed tenant-mix digest: the `# tenant-mix\t<digest>`
+/// annotation line, captured by `bless` on the spec pinned in
+/// [`crate::workload_source::TENANT_MIX_SPEC`].
+pub fn tenant_mix_golden() -> Result<&'static str, String> {
+    GOLDEN
+        .lines()
+        .find_map(|l| l.strip_prefix("# tenant-mix\t"))
+        .ok_or_else(|| "no `# tenant-mix` golden line (bless with DCFB_BLESS=1)".to_owned())
+}
+
 /// The `# shard-tolerance` annotations recorded alongside the exact
 /// goldens: `(counter, relative, absolute)` bounds the sharded-run
 /// parity check applies where warmup-overlap makes byte-identity
@@ -166,13 +176,19 @@ pub fn bless() -> Result<String, String> {
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/golden_digests.txt");
     // Preserve `#` annotation lines (the shard tolerances): blessing
-    // recaptures the exact digests, not the documented tolerances.
+    // recaptures the exact digests, not the documented tolerances. The
+    // `# tenant-mix` digest IS an exact golden, so recapture it too.
     let existing = std::fs::read_to_string(path).unwrap_or_else(|_| GOLDEN.to_owned());
     for line in existing.lines() {
-        if line.trim_start().starts_with('#') {
+        if line.trim_start().starts_with('#') && !line.starts_with("# tenant-mix\t") {
             let _ = writeln!(out, "{line}");
         }
     }
+    let _ = writeln!(
+        out,
+        "# tenant-mix\t{}",
+        crate::workload_source::tenant_mix_digest()?
+    );
     std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?;
     Ok(format!("blessed {path}"))
 }

@@ -38,6 +38,7 @@ pub mod ops;
 pub mod reference;
 pub mod shard;
 pub mod shrink;
+pub mod workload_source;
 
 pub use campaign::{Campaign, CampaignConfig};
 pub use coverage::CoverageMap;
@@ -237,6 +238,13 @@ pub fn run_full_suite(seed: u64, n_ops: usize) -> ConformanceReport {
         "corpus-replay",
         corpus::check_corpus_replay(),
     ));
+    // ---- workload-source registry parity: synthetics via the
+    // resolution layer byte-match the goldens; the blessed tenant-mix
+    // digest holds sequentially, at K=1, and across --jobs ----
+    checks.push(invariant_result(
+        "workload-source",
+        workload_source::check_workload_source(),
+    ));
 
     ConformanceReport {
         seed,
@@ -255,11 +263,12 @@ mod tests {
         let report = run_full_suite(5, 300);
         let rendered = report.render();
         assert!(report.passed(), "conformance suite failed:\n{rendered}");
-        assert_eq!(report.checks.len(), 15);
+        assert_eq!(report.checks.len(), 16);
         assert!(rendered.contains("lockstep/proactive"));
         assert!(rendered.contains("invariant/digest-parity"));
         assert!(rendered.contains("invariant/shard-parity"));
         assert!(rendered.contains("invariant/corpus-replay"));
+        assert!(rendered.contains("invariant/workload-source"));
         assert!(rendered.contains("all checks passed"));
     }
 }

@@ -1,0 +1,138 @@
+//! Workload-source registry parity: the 16th conformance check.
+//!
+//! The `WorkloadSource` registry (`dcfb-workloads/src/source.rs`) is a
+//! *resolution* layer — it must never perturb simulation. This check
+//! pins that two ways:
+//!
+//! 1. **Synthetic parity.** Every method in the prefetch registry runs
+//!    the golden fixture through [`ResolvedWorkload::from_image`] (the
+//!    path `dcfb run`, the supervisor, and the job server all take now)
+//!    and each `SimReport::digest()` must be byte-identical to the
+//!    checked-in goldens captured via `Simulator::try_new` — same
+//!    fixture, different plumbing, zero drift.
+//! 2. **Tenant-mix golden.** A fixed two-tenant `mix:` spec runs once
+//!    sequentially and is pinned against the blessed `# tenant-mix`
+//!    digest in `golden_digests.txt`; the same resolved mix must then
+//!    be bit-identical under `--shards 1` and across `--jobs` values
+//!    (the interleaver schedule depends only on the quantum and the
+//!    trace seed, never on host parallelism).
+//!
+//! Re-bless after an intentional timing-model change with
+//! `DCFB_BLESS=1 cargo test -p dcfb-conformance golden`.
+
+use crate::golden;
+use dcfb_sim::{run_resolved, run_sharded_resolved, ShardOptions};
+use dcfb_trace::IsaMode;
+use dcfb_workloads::{ResolvedWorkload, SourceSpec};
+
+/// The pinned tenant-mix spec: the two smallest catalog workloads, with
+/// an explicit quantum small enough to force dozens of context switches
+/// inside the golden fixture's 180k-instruction window.
+pub const TENANT_MIX_SPEC: &str = "mix:Web Frontend+Web Search,quantum=2500";
+
+/// The method the tenant-mix golden is captured with (the paper's
+/// headline composition).
+pub const TENANT_MIX_METHOD: &str = "SN4L+Dis+BTB";
+
+/// Runs the pinned tenant-mix spec sequentially and returns the report
+/// digest. `bless` uses this to recapture the `# tenant-mix` golden.
+pub fn tenant_mix_digest() -> Result<String, String> {
+    let spec = SourceSpec::parse(TENANT_MIX_SPEC).map_err(|e| e.to_string())?;
+    let mix = spec.resolve(IsaMode::Fixed4).map_err(|e| e.to_string())?;
+    let cfg = golden::fixture_config(TENANT_MIX_METHOD)?;
+    let report = run_resolved(&mix, cfg, golden::FIXTURE_TRACE_SEED).map_err(|e| e.to_string())?;
+    Ok(report.digest())
+}
+
+/// The `invariant/workload-source` check: synthetic digests via the
+/// registry path, then the blessed tenant-mix digest plus jobs/K=1
+/// schedule-independence.
+pub fn check_workload_source() -> Result<String, String> {
+    // Part 1: every registry method, resolved through the
+    // workload-source layer, must reproduce the checked-in golden.
+    let resolved = ResolvedWorkload::from_image(golden::fixture_image());
+    let goldens = golden::goldens()?;
+    let mut mismatched = Vec::new();
+    for (method, want) in &goldens {
+        let cfg = golden::fixture_config(method)?;
+        let report =
+            run_resolved(&resolved, cfg, golden::FIXTURE_TRACE_SEED).map_err(|e| e.to_string())?;
+        if report.digest() != *want {
+            mismatched.push(*method);
+        }
+    }
+    if !mismatched.is_empty() {
+        return Err(format!(
+            "registry-resolved digest mismatch for: {} (the WorkloadSource path must be \
+             byte-identical to the direct Simulator path)",
+            mismatched.join(", ")
+        ));
+    }
+
+    // Part 2: the blessed tenant-mix digest, and bit-identity across
+    // shard/job shapes.
+    let spec = SourceSpec::parse(TENANT_MIX_SPEC).map_err(|e| e.to_string())?;
+    let mix = spec.resolve(IsaMode::Fixed4).map_err(|e| e.to_string())?;
+    let cfg = golden::fixture_config(TENANT_MIX_METHOD)?;
+    let seq =
+        run_resolved(&mix, cfg.clone(), golden::FIXTURE_TRACE_SEED).map_err(|e| e.to_string())?;
+    let want = golden::tenant_mix_golden()?;
+    if seq.digest() != want {
+        return Err(format!(
+            "tenant-mix digest drifted from the blessed golden (re-bless with DCFB_BLESS=1 \
+             if the change is intentional): got {}",
+            seq.digest()
+        ));
+    }
+    let sharded = |shards: usize, jobs: usize| {
+        run_sharded_resolved(
+            &cfg,
+            &mix,
+            golden::FIXTURE_TRACE_SEED,
+            &ShardOptions {
+                shards,
+                warmup_overlap: None,
+                jobs,
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+    let k1 = sharded(1, 1)?;
+    if k1.merged.digest() != seq.digest() {
+        return Err("tenant-mix K=1 sharded digest diverged from the sequential run".to_owned());
+    }
+    let k4j1 = sharded(4, 1)?;
+    let k4j4 = sharded(4, 4)?;
+    if k4j1.merged.digest() != k4j4.merged.digest() {
+        return Err(
+            "tenant-mix sharded digest varies with --jobs (the interleaver must be \
+             schedule-independent)"
+                .to_owned(),
+        );
+    }
+    Ok(format!(
+        "{} methods registry-identical; tenant-mix golden + jobs/K=1 parity hold",
+        goldens.len()
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_source_check_passes() {
+        let summary = check_workload_source().unwrap_or_else(|e| panic!("{e}"));
+        println!("{summary}");
+    }
+
+    #[test]
+    fn tenant_mix_digest_is_stable_across_calls() {
+        // Resolution builds fresh images each call; the digest must not
+        // depend on allocation order or any other run-to-run state.
+        let a = tenant_mix_digest().expect("mix digest");
+        let b = tenant_mix_digest().expect("mix digest");
+        assert_eq!(a, b);
+    }
+}

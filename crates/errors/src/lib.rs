@@ -136,6 +136,8 @@ pub enum TraceErrorKind {
         /// Records actually decoded.
         actual: u64,
     },
+    /// A malformed record in an imported (foreign-format) trace.
+    BadRecord(String),
     /// Malformed text-format line.
     BadTextLine {
         /// 1-based line number.
@@ -164,6 +166,7 @@ impl fmt::Display for TraceErrorKind {
                 f,
                 "record count mismatch (header declares {declared}, decoded {actual})"
             ),
+            TraceErrorKind::BadRecord(m) => write!(f, "bad record: {m}"),
             TraceErrorKind::BadTextLine { line, message } => {
                 write!(f, "line {line}: {message}")
             }

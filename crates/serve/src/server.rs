@@ -38,7 +38,7 @@ use dcfb_sdk::json::ObjectWriter;
 use dcfb_sdk::wire::{JobSpec, JobState};
 use dcfb_sim::{RunControl, SimConfig, SimReport, Simulator};
 use dcfb_telemetry::{CounterSet, Ctr};
-use dcfb_workloads::{all_workloads, Walker, Workload};
+use dcfb_workloads::SourceSpec;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -271,15 +271,22 @@ impl Shared {
     }
 }
 
-/// The default runner: a real simulation of the spec, progress
-/// published through the control, cancellation honored.
+/// The default runner: a real simulation of the spec resolved through
+/// the workload-source registry (synthetic names, `mix:` interleavings,
+/// `trace:` replays), progress published through the control,
+/// cancellation honored.
 fn default_runner(spec: &JobSpec, control: &mut RunControl) -> Result<SimReport, DcfbError> {
-    let (cfg, workload) = resolve_spec(spec)?;
-    let image = dcfb_bench::runs::image_for(&workload, cfg.isa);
-    let mut sim = Simulator::try_new(cfg, Arc::clone(&image))?;
+    let (cfg, _source) = resolve_spec(spec)?;
+    let resolved = dcfb_bench::runs::resolved_for(&spec.workload, cfg.isa)?;
+    let mut sim = Simulator::try_with_code(
+        cfg,
+        resolved.code(),
+        resolved.start_pc(),
+        resolved.name().to_owned(),
+    )?;
     sim.attach_control(control.clone());
-    let mut walker = Walker::new(image, spec.seed);
-    let report = sim.run(&mut walker);
+    let mut stream = resolved.stream(spec.seed);
+    let report = sim.run(&mut stream);
     if sim.interrupted() {
         return Err(DcfbError::protocol(format!(
             "job {} cancelled mid-run",
@@ -290,15 +297,12 @@ fn default_runner(spec: &JobSpec, control: &mut RunControl) -> Result<SimReport,
 }
 
 /// Validates a spec against the registries and builds its simulation
-/// configuration.
-fn resolve_spec(spec: &JobSpec) -> Result<(SimConfig, Workload), DcfbError> {
-    let workload = all_workloads()
-        .into_iter()
-        .find(|w| w.name == spec.workload)
-        .ok_or_else(|| DcfbError::UnknownWorkload {
-            name: spec.workload.clone(),
-            available: all_workloads().iter().map(|w| w.name.to_owned()).collect(),
-        })?;
+/// configuration. The workload check is syntactic ([`SourceSpec::parse`]
+/// — mix tenants and options are validated, unknown names enumerate
+/// every source); a `trace:` path is only read when the job actually
+/// runs, so submission stays cheap.
+fn resolve_spec(spec: &JobSpec) -> Result<(SimConfig, SourceSpec), DcfbError> {
+    let source = SourceSpec::parse(&spec.workload)?;
     let mut cfg = SimConfig::for_method(&spec.method).ok_or_else(|| DcfbError::UnknownMethod {
         name: spec.method.clone(),
         available: dcfb_prefetch::method_names().map(str::to_owned).collect(),
@@ -306,7 +310,7 @@ fn resolve_spec(spec: &JobSpec) -> Result<(SimConfig, Workload), DcfbError> {
     cfg.warmup_instrs = spec.warmup;
     cfg.measure_instrs = spec.measure;
     cfg.validate()?;
-    Ok((cfg, workload))
+    Ok((cfg, source))
 }
 
 /// Renders a report for the wire: the headline scalars plus the full
@@ -373,7 +377,7 @@ fn mark_running(shared: &Arc<Shared>, id: &str) -> Option<JobSpec> {
 /// Runs one job under the supervisor and records its terminal state.
 fn run_one(shared: &Arc<Shared>, id: &str, spec: &JobSpec) {
     let envelope = match resolve_spec(spec) {
-        Ok((_, workload)) => JobEnvelope::new(workload, &spec.method),
+        Ok((_, source)) => JobEnvelope::new(source.canonical_name(), &spec.method),
         Err(e) => {
             finish_failed(shared, id, &e.to_string());
             return;

@@ -225,3 +225,33 @@ fn bad_submissions_are_rejected_at_the_door() {
     client.shutdown().expect("shutdown");
     server.wait();
 }
+
+#[test]
+fn tenant_mix_jobs_are_servable_and_byte_identical() {
+    // A `mix:` spec is a first-class workload source: it must submit,
+    // run, and return the same digest a direct resolved run produces.
+    let mut server = Server::spawn(ServeOptions::default()).expect("server binds");
+    let client = Client::new(server.local_addr().to_string());
+
+    let mut spec = tiny_spec();
+    spec.workload = "mix:Web Frontend+Web Search,quantum=500".to_owned();
+    let reply = client.submit(&spec).expect("mix submission accepted");
+    let result = client.wait(&reply.job).expect("mix job completes");
+
+    let mut cfg = SimConfig::for_method(&spec.method).expect("method in registry");
+    cfg.warmup_instrs = spec.warmup;
+    cfg.measure_instrs = spec.measure;
+    let resolved = dcfb_bench::runs::resolved_for(&spec.workload, cfg.isa).expect("mix resolves");
+    let direct = dcfb_sim::run_resolved(&resolved, cfg, spec.seed).expect("direct mix run");
+    assert_eq!(result.digest, direct.digest(), "served mix digest drifted");
+
+    // An unknown tenant inside the mix is rejected at the door, like
+    // any unknown workload.
+    let mut bad = tiny_spec();
+    bad.workload = "mix:Web Frontend+No Such Tenant".to_owned();
+    let err = client.submit(&bad).expect_err("unknown tenant");
+    assert!(err.to_string().contains("400"), "{err}");
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+}

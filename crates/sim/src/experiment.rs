@@ -4,8 +4,9 @@
 use crate::config::SimConfig;
 use crate::machine::Simulator;
 use crate::metrics::SimReport;
+use dcfb_errors::DcfbError;
 use dcfb_telemetry::TelemetryReport;
-use dcfb_workloads::{Walker, Workload};
+use dcfb_workloads::{ResolvedWorkload, Walker, Workload};
 use std::sync::Arc;
 
 /// A method's measured report paired with the matching baseline.
@@ -81,6 +82,82 @@ pub fn run_config_profiled(
     #[allow(clippy::expect_used)]
     let telemetry = sim.take_telemetry().expect("telemetry was enabled above");
     (report, telemetry)
+}
+
+/// Runs `cfg` on a registry-resolved workload source with the given
+/// trace seed.
+///
+/// For synthetic sources this is digest-identical to [`run_config`]:
+/// the resolved code memory is the same `Arc<ProgramImage>`, the start
+/// pc and workload name are derived exactly as `Simulator::new` does,
+/// and the stream is the same seeded [`Walker`]. The
+/// `invariant/workload-source` conformance check pins that equivalence
+/// for every registry method.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] if `cfg` fails validation.
+pub fn run_resolved(
+    resolved: &ResolvedWorkload,
+    cfg: SimConfig,
+    trace_seed: u64,
+) -> Result<SimReport, DcfbError> {
+    let mut sim = Simulator::try_with_code(
+        cfg,
+        resolved.code(),
+        resolved.start_pc(),
+        resolved.name().to_owned(),
+    )?;
+    let mut stream = resolved.stream(trace_seed);
+    Ok(sim.run(&mut stream))
+}
+
+/// [`run_resolved`] with telemetry recording forced on — the resolved
+/// counterpart of [`run_config_profiled`].
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] if `cfg` fails validation.
+pub fn run_resolved_profiled(
+    resolved: &ResolvedWorkload,
+    mut cfg: SimConfig,
+    trace_seed: u64,
+) -> Result<(SimReport, TelemetryReport), DcfbError> {
+    cfg.telemetry = true;
+    let mut sim = Simulator::try_with_code(
+        cfg,
+        resolved.code(),
+        resolved.start_pc(),
+        resolved.name().to_owned(),
+    )?;
+    let mut stream = resolved.stream(trace_seed);
+    let report = sim.run(&mut stream);
+    // Infallible: `cfg.telemetry` was forced on above and this is the
+    // first (only) take.
+    #[allow(clippy::expect_used)]
+    let telemetry = sim.take_telemetry().expect("telemetry was enabled above");
+    Ok((report, telemetry))
+}
+
+/// Runs a method *and* the baseline on a resolved source (same seed)
+/// and pairs the results — the registry counterpart of
+/// [`run_workload`].
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] if `cfg` fails validation.
+pub fn run_resolved_workload(
+    resolved: &ResolvedWorkload,
+    cfg: SimConfig,
+    trace_seed: u64,
+) -> Result<ExperimentResult, DcfbError> {
+    let mut base_cfg = SimConfig::baseline();
+    base_cfg.warmup_instrs = cfg.warmup_instrs;
+    base_cfg.measure_instrs = cfg.measure_instrs;
+    base_cfg.isa = cfg.isa;
+    let baseline = run_resolved(resolved, base_cfg, trace_seed)?;
+    let report = run_resolved(resolved, cfg, trace_seed)?;
+    Ok(ExperimentResult { report, baseline })
 }
 
 /// Runs a method *and* the baseline on `workload` (same seed) and pairs

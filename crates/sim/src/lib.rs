@@ -68,12 +68,13 @@ pub mod shard;
 
 pub use config::{PrefetcherKind, SimConfig};
 pub use experiment::{
-    geomean, run_config, run_config_profiled, run_multi_seed, run_workload, ExperimentResult,
-    Measurement,
+    geomean, run_config, run_config_profiled, run_multi_seed, run_resolved, run_resolved_profiled,
+    run_resolved_workload, run_workload, ExperimentResult, Measurement,
 };
 pub use machine::{RunControl, Simulator};
 pub use metrics::{SimReport, StallKind};
 pub use shard::{
-    merge_reports, plan_shards, record_trace, run_shard, run_sharded, shard_stream, ShardOptions,
-    ShardPlan, ShardSpec, ShardedRun, SliceStream,
+    merge_reports, plan_shards, record_stream, record_trace, run_shard, run_sharded,
+    run_sharded_resolved, shard_stream, ShardOptions, ShardPlan, ShardSpec, ShardedRun,
+    SliceStream,
 };

@@ -30,7 +30,7 @@ use crate::machine::Simulator;
 use crate::metrics::SimReport;
 use dcfb_errors::DcfbError;
 use dcfb_trace::{Instr, InstrStream};
-use dcfb_workloads::{ProgramImage, Walker};
+use dcfb_workloads::{ProgramImage, ResolvedWorkload, Walker};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -131,9 +131,16 @@ impl InstrStream for SliceStream<'_> {
 /// recording equals what a sequential run would consume.
 pub fn record_trace(image: &Arc<ProgramImage>, trace_seed: u64, total: u64) -> Vec<Instr> {
     let mut walker = Walker::new(Arc::clone(image), trace_seed);
+    record_stream(&mut walker, total)
+}
+
+/// Records the first `total` instructions of any stream — the
+/// source-agnostic form of [`record_trace`] used by registry-resolved
+/// runs (mixes, imported traces). Stops early if the stream drains.
+pub fn record_stream<S: InstrStream + ?Sized>(stream: &mut S, total: u64) -> Vec<Instr> {
     let mut instrs = Vec::with_capacity(total as usize);
     for _ in 0..total {
-        match walker.next_instr() {
+        match stream.next_instr() {
             Some(i) => instrs.push(i),
             None => break,
         }
@@ -199,6 +206,56 @@ pub fn run_sharded(
     })
 }
 
+/// Runs `cfg` on a registry-resolved workload source sliced into
+/// `opts.shards` time shards and stitches the result — the
+/// source-agnostic form of [`run_sharded`]. The dynamic stream
+/// (walker, tenant mix, or trace replay) is recorded once, so the
+/// slicing is bit-identical at any `jobs` count, and a one-shard plan
+/// replays exactly what a sequential [`crate::run_resolved`] consumes.
+///
+/// # Errors
+///
+/// Returns [`DcfbError::Config`] for an invalid configuration and
+/// [`DcfbError::Run`] if a shard worker dies without reporting.
+pub fn run_sharded_resolved(
+    cfg: &SimConfig,
+    resolved: &ResolvedWorkload,
+    trace_seed: u64,
+    opts: &ShardOptions,
+) -> Result<ShardedRun, DcfbError> {
+    cfg.validate()?;
+    opts.validate(cfg.warmup_instrs)?;
+    let overlap = opts.overlap_for(cfg.warmup_instrs);
+    let plan = plan_shards(cfg.warmup_instrs, cfg.measure_instrs, opts.shards, overlap);
+    let mut source = resolved.stream(trace_seed);
+    let trace = record_stream(source.as_mut(), plan.trace_instrs());
+    let code = resolved.code();
+    let run_one = |spec: &ShardSpec, stream: &mut SliceStream<'_>| {
+        let mut shard_cfg = cfg.clone();
+        shard_cfg.warmup_instrs = spec.warmup;
+        shard_cfg.measure_instrs = spec.measure;
+        let mut sim = Simulator::try_with_code(
+            shard_cfg,
+            Arc::clone(&code),
+            resolved.start_pc(),
+            resolved.name().to_owned(),
+        )?;
+        Ok(sim.run(stream))
+    };
+    let dead = |message: String| DcfbError::Run {
+        workload: resolved.name().to_owned(),
+        method: cfg.prefetcher.name().into_owned(),
+        message,
+    };
+    let per_shard = run_planned_with(&plan, &trace, opts.jobs, &run_one, &dead)?;
+    let merged = merge_reports(&per_shard).ok_or_else(|| dead("empty plan".to_owned()))?;
+    Ok(ShardedRun {
+        merged,
+        per_shard,
+        plan,
+    })
+}
+
 fn run_error(cfg: &SimConfig, image: &Arc<ProgramImage>, message: &str) -> DcfbError {
     DcfbError::Run {
         workload: image.params().name.clone(),
@@ -216,12 +273,31 @@ fn run_planned(
     trace: &[Instr],
     jobs: usize,
 ) -> Result<Vec<SimReport>, DcfbError> {
+    let run_one =
+        |spec: &ShardSpec, stream: &mut SliceStream<'_>| run_shard(cfg, image, spec, stream);
+    let dead = |message: String| run_error(cfg, image, &message);
+    run_planned_with(plan, trace, jobs, &run_one, &dead)
+}
+
+/// The shared shard executor: runs `run_one` over every shard of
+/// `plan`, on the calling thread (`jobs <= 1`) or a scoped worker
+/// pool. Results land in time order regardless of completion order.
+fn run_planned_with<F>(
+    plan: &ShardPlan,
+    trace: &[Instr],
+    jobs: usize,
+    run_one: &F,
+    dead: &dyn Fn(String) -> DcfbError,
+) -> Result<Vec<SimReport>, DcfbError>
+where
+    F: Fn(&ShardSpec, &mut SliceStream<'_>) -> Result<SimReport, DcfbError> + Sync,
+{
     let n = plan.shards.len();
     if jobs <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for spec in &plan.shards {
             let mut stream = shard_stream(trace, spec);
-            out.push(run_shard(cfg, image, spec, &mut stream)?);
+            out.push(run_one(spec, &mut stream)?);
         }
         return Ok(out);
     }
@@ -240,7 +316,7 @@ fn run_planned(
                 }
                 let spec = &plan.shards[i];
                 let mut stream = shard_stream(trace, spec);
-                let res = run_shard(cfg, image, spec, &mut stream);
+                let res = run_one(spec, &mut stream);
                 if let Ok(mut slot) = slots[i].lock() {
                     *slot = Some(res);
                 }
@@ -251,13 +327,7 @@ fn run_planned(
     for (i, slot) in slots.into_iter().enumerate() {
         match slot.into_inner() {
             Ok(Some(res)) => out.push(res?),
-            _ => {
-                return Err(run_error(
-                    cfg,
-                    image,
-                    &format!("shard {i}/{n} worker died without reporting"),
-                ))
-            }
+            _ => return Err(dead(format!("shard {i}/{n} worker died without reporting"))),
         }
     }
     Ok(out)
@@ -429,6 +499,40 @@ mod tests {
         }
         .validate(4_000)
         .unwrap();
+    }
+
+    #[test]
+    fn resolved_synthetic_sharded_matches_legacy_path() {
+        let cfg = tiny_cfg("SN4L+Dis+BTB");
+        let resolved = dcfb_workloads::resolve_workload("Web (Apache)", cfg.isa).unwrap();
+        let w = dcfb_workloads::workload("Web (Apache)").unwrap();
+        let image = w.image(cfg.isa);
+        let legacy = run_sharded(&cfg, &image, 7, &ShardOptions::new(2)).unwrap();
+        let via = run_sharded_resolved(&cfg, &resolved, 7, &ShardOptions::new(2)).unwrap();
+        assert_eq!(via.merged.digest(), legacy.merged.digest());
+    }
+
+    #[test]
+    fn mix_is_bit_identical_across_jobs_and_exact_at_one_shard() {
+        let cfg = tiny_cfg("SN4L+Dis+BTB");
+        let resolved =
+            dcfb_workloads::resolve_workload("mix:Web (Apache)+Web Search,quantum=700", cfg.isa)
+                .unwrap();
+        let sequential = crate::experiment::run_resolved(&resolved, cfg.clone(), 7).unwrap();
+        let one = run_sharded_resolved(&cfg, &resolved, 7, &ShardOptions::new(1)).unwrap();
+        assert_eq!(
+            one.merged.digest(),
+            sequential.digest(),
+            "mix K=1 shard diverged from sequential"
+        );
+        let opts = |jobs| ShardOptions {
+            shards: 3,
+            warmup_overlap: Some(1_000),
+            jobs,
+        };
+        let serial = run_sharded_resolved(&cfg, &resolved, 7, &opts(1)).unwrap();
+        let parallel = run_sharded_resolved(&cfg, &resolved, 7, &opts(4)).unwrap();
+        assert_eq!(serial.merged.digest(), parallel.merged.digest());
     }
 
     #[test]

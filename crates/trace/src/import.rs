@@ -1,0 +1,409 @@
+//! External trace ingestion: ChampSim-style instruction records →
+//! native trace.
+//!
+//! The import format is the fixed 64-byte record layout used by
+//! ChampSim-family tracers, little-endian:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  ip               (u64)
+//!      8     1  is_branch        (0 or 1)
+//!      9     1  branch_taken     (0 or 1)
+//!     10     2  destination_registers (u8 × 2)
+//!     12     4  source_registers      (u8 × 4)
+//!     16    16  destination_memory    (u64 × 2)
+//!     32    32  source_memory         (u64 × 4)
+//! ```
+//!
+//! The format carries no sizes, kinds, or targets, so the importer
+//! reconstructs them:
+//!
+//! * **size** — inferred from the pc delta to the next sequential
+//!   record (clamped to 1..=15); branch and final records reuse the
+//!   size learned from another occurrence of the same ip, defaulting
+//!   to 4.
+//! * **kind** — ChampSim's register-based inference: a branch reading
+//!   the flags register is conditional; reading+writing the stack
+//!   pointer distinguishes calls (which also read the instruction
+//!   pointer) from returns; remaining ip-writers are jumps, indirect
+//!   when they read general registers.
+//! * **target** — the next record's ip for taken branches; not-taken
+//!   conditionals reuse the target learned from a taken occurrence of
+//!   the same ip (falling back to the fallthrough pc). A non-branch
+//!   record followed by a pc discontinuity (interrupt, trap) becomes an
+//!   `IndirectJump` so the stream stays `next_pc`-continuous.
+//!
+//! Strict mode ([`ReadMode::Strict`]) rejects truncation and malformed
+//! flag bytes with typed errors; lenient mode salvages the longest
+//! well-formed whole-record prefix, mirroring the v2 reader's recovery
+//! semantics. The converted stream is written back out through the
+//! checksummed v2 writer, so downstream consumers get the full CRC
+//! machinery for free.
+
+use crate::file::ReadMode;
+use crate::instr::{Instr, InstrKind};
+use crate::stream::VecTrace;
+use crate::Addr;
+use dcfb_errors::{DcfbError, TraceErrorKind, TraceLocation};
+use std::collections::HashMap;
+
+/// Size of one imported record, in bytes.
+pub const IMPORT_RECORD_BYTES: usize = 64;
+
+/// Default instruction size when no pc delta pins it down.
+const DEFAULT_SIZE: u8 = 4;
+
+/// x86-style architectural register numbers the tracer uses to flag
+/// control flow (ChampSim convention).
+const REG_STACK_POINTER: u8 = 6;
+const REG_FLAGS: u8 = 25;
+const REG_INSTRUCTION_POINTER: u8 = 26;
+
+/// What one import produced, alongside the trace itself.
+#[derive(Clone, Debug, Default)]
+pub struct ImportReport {
+    /// Records converted.
+    pub records: u64,
+    /// Bytes consumed from the input.
+    pub bytes: u64,
+    /// Why the input was cut short, when lenient salvage engaged.
+    pub salvage: Option<String>,
+    /// Converted records that are control flow.
+    pub branches: u64,
+    /// Non-branch records followed by a pc discontinuity (converted to
+    /// indirect jumps).
+    pub discontinuities: u64,
+}
+
+/// One decoded raw record.
+#[derive(Clone, Copy)]
+struct RawRecord {
+    ip: Addr,
+    is_branch: bool,
+    taken: bool,
+    dst_regs: [u8; 2],
+    src_regs: [u8; 4],
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+fn decode_record(bytes: &[u8], index: u64) -> Result<RawRecord, DcfbError> {
+    let flag_err = |field: &str, value: u8| {
+        DcfbError::trace_at(
+            TraceErrorKind::BadRecord(format!("record {index}: {field} byte is {value}, not 0/1")),
+            TraceLocation {
+                byte_offset: Some(index * IMPORT_RECORD_BYTES as u64),
+                record: Some(index),
+                chunk: None,
+            },
+        )
+    };
+    let is_branch = bytes[8];
+    if is_branch > 1 {
+        return Err(flag_err("is_branch", is_branch));
+    }
+    let taken = bytes[9];
+    if taken > 1 {
+        return Err(flag_err("branch_taken", taken));
+    }
+    Ok(RawRecord {
+        ip: read_u64(bytes, 0),
+        is_branch: is_branch == 1,
+        taken: taken == 1,
+        dst_regs: [bytes[10], bytes[11]],
+        src_regs: [bytes[12], bytes[13], bytes[14], bytes[15]],
+    })
+}
+
+/// Per-ip knowledge accumulated in the first pass.
+#[derive(Clone, Copy, Default)]
+struct IpInfo {
+    /// Size pinned by a sequential pc delta.
+    size: Option<u8>,
+    /// Branch target learned from a taken occurrence.
+    taken_target: Option<Addr>,
+}
+
+/// ChampSim's register-read/write inference, reduced to our
+/// [`InstrKind`] alphabet.
+fn classify(r: &RawRecord) -> InstrKind {
+    let reads = |reg: u8| r.src_regs.contains(&reg);
+    let writes_ip = r.dst_regs.contains(&REG_INSTRUCTION_POINTER);
+    let writes_sp = r.dst_regs.contains(&REG_STACK_POINTER);
+    let reads_other = r.src_regs.iter().any(|&s| {
+        s != 0 && s != REG_STACK_POINTER && s != REG_FLAGS && s != REG_INSTRUCTION_POINTER
+    });
+    if reads(REG_FLAGS) {
+        return InstrKind::CondBranch { taken: r.taken };
+    }
+    if writes_sp && reads(REG_STACK_POINTER) {
+        if reads(REG_INSTRUCTION_POINTER) {
+            return if reads_other {
+                InstrKind::IndirectCall
+            } else {
+                InstrKind::Call
+            };
+        }
+        return InstrKind::Return;
+    }
+    if writes_ip && reads_other {
+        return InstrKind::IndirectJump;
+    }
+    if writes_ip {
+        return InstrKind::Jump;
+    }
+    // The tracer said "branch" but the register sets pin nothing down —
+    // the weakest assumption is a conditional with the recorded
+    // direction.
+    InstrKind::CondBranch { taken: r.taken }
+}
+
+/// Converts a ChampSim-style byte stream into a native trace.
+///
+/// Strict mode rejects trailing partial records ([`TraceErrorKind::Truncated`])
+/// and malformed flag bytes ([`TraceErrorKind::BadRecord`]); lenient
+/// mode converts the longest well-formed whole-record prefix and notes
+/// the reason in [`ImportReport::salvage`]. Never panics on arbitrary
+/// input.
+pub fn import_champsim(data: &[u8], mode: ReadMode) -> Result<(VecTrace, ImportReport), DcfbError> {
+    let mut report = ImportReport::default();
+    let whole = data.len() / IMPORT_RECORD_BYTES;
+    let tail = data.len() % IMPORT_RECORD_BYTES;
+    if tail != 0 && mode == ReadMode::Strict {
+        return Err(DcfbError::trace_at(
+            TraceErrorKind::Truncated,
+            TraceLocation::at_byte((whole * IMPORT_RECORD_BYTES) as u64),
+        ));
+    }
+    if tail != 0 {
+        report.salvage = Some(format!(
+            "{tail} trailing bytes are not a whole {IMPORT_RECORD_BYTES}-byte record"
+        ));
+    }
+
+    // Pass 1: decode, stopping at the first malformed record in
+    // lenient mode.
+    let mut raw: Vec<RawRecord> = Vec::with_capacity(whole);
+    for i in 0..whole {
+        let at = i * IMPORT_RECORD_BYTES;
+        match decode_record(&data[at..at + IMPORT_RECORD_BYTES], i as u64) {
+            Ok(r) => raw.push(r),
+            Err(e) if mode == ReadMode::Lenient => {
+                report.salvage = Some(format!("{e}"));
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Pass 1b: learn per-ip sizes (sequential deltas) and taken
+    // targets.
+    let mut info: HashMap<Addr, IpInfo> = HashMap::new();
+    for w in raw.windows(2) {
+        let (cur, next) = (w[0], w[1]);
+        let entry = info.entry(cur.ip).or_default();
+        let delta = next.ip.wrapping_sub(cur.ip);
+        if cur.is_branch && cur.taken {
+            entry.taken_target = Some(next.ip);
+        } else if entry.size.is_none() && (1..=15).contains(&delta) {
+            entry.size = Some(delta as u8);
+        }
+    }
+
+    // Pass 2: emit native instructions.
+    let mut instrs: Vec<Instr> = Vec::with_capacity(raw.len());
+    for (i, cur) in raw.iter().enumerate() {
+        let known = info.get(&cur.ip).copied().unwrap_or_default();
+        let size = known.size.unwrap_or(DEFAULT_SIZE);
+        let next_ip = raw.get(i + 1).map(|n| n.ip);
+        let fallthrough = cur.ip.wrapping_add(size as u64);
+        let instr = if cur.is_branch {
+            report.branches += 1;
+            let kind = classify(cur);
+            let target = if cur.taken {
+                // Final-record taken branches fall back to the target
+                // learned from an earlier taken occurrence.
+                next_ip.or(known.taken_target).unwrap_or(fallthrough)
+            } else {
+                known.taken_target.unwrap_or(fallthrough)
+            };
+            Instr::branch(cur.ip, size, kind, target)
+        } else {
+            match next_ip {
+                // A pc discontinuity with no branch flag: an interrupt
+                // or trap boundary. Model it as an indirect jump so
+                // the stream stays next_pc-continuous.
+                Some(n) if n != fallthrough => {
+                    report.discontinuities += 1;
+                    Instr::branch(cur.ip, size, InstrKind::IndirectJump, n)
+                }
+                _ => Instr::other(cur.ip, size),
+            }
+        };
+        instrs.push(instr);
+    }
+    report.records = instrs.len() as u64;
+    report.bytes = (raw.len() * IMPORT_RECORD_BYTES) as u64;
+    Ok((VecTrace::new(instrs), report))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    /// Builds one 64-byte record.
+    fn rec(ip: u64, is_branch: u8, taken: u8, dst: [u8; 2], src: [u8; 4]) -> Vec<u8> {
+        let mut r = vec![0u8; IMPORT_RECORD_BYTES];
+        r[0..8].copy_from_slice(&ip.to_le_bytes());
+        r[8] = is_branch;
+        r[9] = taken;
+        r[10..12].copy_from_slice(&dst);
+        r[12..16].copy_from_slice(&src);
+        r
+    }
+
+    fn seq(ip: u64) -> Vec<u8> {
+        rec(ip, 0, 0, [0, 0], [0, 0, 0, 0])
+    }
+
+    fn cond(ip: u64, taken: u8) -> Vec<u8> {
+        rec(
+            ip,
+            1,
+            taken,
+            [REG_INSTRUCTION_POINTER, 0],
+            [REG_FLAGS, REG_INSTRUCTION_POINTER, 0, 0],
+        )
+    }
+
+    #[test]
+    fn sequential_run_infers_sizes() {
+        let mut data = Vec::new();
+        for pc in [0x1000u64, 0x1004, 0x1006, 0x100f] {
+            data.extend(seq(pc));
+        }
+        let (trace, report) = import_champsim(&data, ReadMode::Strict).unwrap();
+        assert_eq!(report.records, 4);
+        assert_eq!(report.branches, 0);
+        let sizes: Vec<u8> = trace.instrs().iter().map(|i| i.size).collect();
+        // 4, 2, 9 inferred from deltas; final record defaults to 4.
+        assert_eq!(sizes, vec![4, 2, 9, DEFAULT_SIZE]);
+        assert!(trace.instrs().iter().all(|i| i.kind == InstrKind::Other));
+    }
+
+    #[test]
+    fn taken_conditional_takes_next_ip_as_target() {
+        let mut data = Vec::new();
+        data.extend(seq(0x1000));
+        data.extend(cond(0x1004, 1));
+        data.extend(seq(0x2000));
+        let (trace, report) = import_champsim(&data, ReadMode::Strict).unwrap();
+        assert_eq!(report.branches, 1);
+        let b = trace.instrs()[1];
+        assert_eq!(b.kind, InstrKind::CondBranch { taken: true });
+        assert_eq!(b.target, 0x2000);
+    }
+
+    #[test]
+    fn not_taken_conditional_reuses_learned_target() {
+        let mut data = Vec::new();
+        data.extend(cond(0x1004, 1)); // taken: learns target 0x2000
+        data.extend(seq(0x2000));
+        data.extend(cond(0x1004, 0)); // not taken: reuses 0x2000
+        data.extend(seq(0x1008));
+        let (trace, _) = import_champsim(&data, ReadMode::Strict).unwrap();
+        let nt = trace.instrs()[2];
+        assert_eq!(nt.kind, InstrKind::CondBranch { taken: false });
+        assert_eq!(nt.target, 0x2000);
+        // Not-taken delta pinned the branch size.
+        assert_eq!(nt.size, 4);
+    }
+
+    #[test]
+    fn register_inference_classifies_call_return_jump() {
+        let sp = REG_STACK_POINTER;
+        let ip = REG_INSTRUCTION_POINTER;
+        let call = rec(0x1000, 1, 1, [ip, sp], [ip, sp, 0, 0]);
+        let callee = seq(0x5000);
+        let ret = rec(0x5004, 1, 1, [ip, sp], [sp, 0, 0, 0]);
+        let jump = rec(0x1004, 1, 1, [ip, 0], [0, 0, 0, 0]);
+        let ijmp = rec(0x6000, 1, 1, [ip, 0], [3, 0, 0, 0]);
+        let icall = rec(0x6004, 1, 1, [ip, sp], [ip, sp, 9, 0]);
+        let mut data = Vec::new();
+        for r in [&call, &callee, &ret, &jump, &ijmp, &icall, &seq(0x9000)] {
+            data.extend(r.iter());
+        }
+        let (trace, _) = import_champsim(&data, ReadMode::Strict).unwrap();
+        let kinds: Vec<InstrKind> = trace.instrs().iter().map(|i| i.kind).collect();
+        assert_eq!(kinds[0], InstrKind::Call);
+        assert_eq!(kinds[2], InstrKind::Return);
+        assert_eq!(kinds[3], InstrKind::Jump);
+        assert_eq!(kinds[4], InstrKind::IndirectJump);
+        assert_eq!(kinds[5], InstrKind::IndirectCall);
+    }
+
+    #[test]
+    fn non_branch_discontinuity_becomes_indirect_jump() {
+        let mut data = Vec::new();
+        data.extend(seq(0x1000));
+        data.extend(seq(0x9000)); // 0x1000 -> 0x9000 with no branch flag
+        data.extend(seq(0x9004));
+        let (trace, report) = import_champsim(&data, ReadMode::Strict).unwrap();
+        assert_eq!(report.discontinuities, 1);
+        let i = trace.instrs()[0];
+        assert_eq!(i.kind, InstrKind::IndirectJump);
+        assert_eq!(i.target, 0x9000);
+    }
+
+    #[test]
+    fn truncated_input_strict_vs_lenient() {
+        let mut data = Vec::new();
+        data.extend(seq(0x1000));
+        data.extend(seq(0x1004));
+        data.extend_from_slice(&[0u8; 10]); // partial third record
+        let err = import_champsim(&data, ReadMode::Strict).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DcfbError::Trace {
+                    kind: TraceErrorKind::Truncated,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(err.exit_code(), 3);
+        let (trace, report) = import_champsim(&data, ReadMode::Lenient).unwrap();
+        assert_eq!(trace.instrs().len(), 2);
+        assert!(report.salvage.is_some());
+    }
+
+    #[test]
+    fn malformed_flag_byte_strict_vs_lenient() {
+        let mut data = Vec::new();
+        data.extend(seq(0x1000));
+        data.extend(rec(0x1004, 7, 0, [0, 0], [0, 0, 0, 0])); // is_branch = 7
+        data.extend(seq(0x1008));
+        let err = import_champsim(&data, ReadMode::Strict).unwrap_err();
+        let DcfbError::Trace { kind, location } = &err else {
+            panic!("expected Trace error, got {err:?}");
+        };
+        assert!(matches!(kind, TraceErrorKind::BadRecord(_)));
+        assert_eq!(location.record, Some(1));
+        let (trace, report) = import_champsim(&data, ReadMode::Lenient).unwrap();
+        assert_eq!(trace.instrs().len(), 1);
+        assert!(report.salvage.unwrap().contains("is_branch"));
+    }
+
+    #[test]
+    fn empty_input_is_ok_and_empty() {
+        let (trace, report) = import_champsim(&[], ReadMode::Strict).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(report.records, 0);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod crc;
 pub mod fault;
 pub mod file;
+pub mod import;
 pub mod instr;
 pub mod isa;
 pub mod memory;
@@ -37,6 +38,7 @@ pub use file::{
     read_binary, read_binary_checked, read_text, write_binary, write_binary_v1, write_binary_v2,
     write_text, ReadMode, ReadReport,
 };
+pub use import::{import_champsim, ImportReport, IMPORT_RECORD_BYTES};
 pub use instr::{Instr, InstrKind, StaticInstr, StaticKind};
 pub use isa::IsaMode;
 pub use memory::{CodeMemory, RecordedCode};

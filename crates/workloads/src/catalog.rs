@@ -230,6 +230,7 @@ pub fn workload(name: &str) -> Option<Workload> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use dcfb_trace::{InstrStream, StreamStats};

@@ -47,10 +47,17 @@
 
 pub mod catalog;
 pub mod image;
+pub mod mix;
 pub mod params;
+pub mod source;
 pub mod synth;
 
 pub use catalog::{all_workloads, workload, workload_names, Workload};
 pub use image::{ProgramImage, Terminator};
+pub use mix::{MixCode, MixStream, DEFAULT_QUANTUM, TENANT_STRIDE};
 pub use params::WorkloadParams;
+pub use source::{
+    resolve_workload, source_names, ResolvedWorkload, SourceSpec, MIX_PREFIX, MIX_SYNTAX,
+    TRACE_PREFIX, TRACE_SYNTAX,
+};
 pub use synth::Walker;

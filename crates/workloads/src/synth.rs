@@ -226,6 +226,7 @@ impl InstrStream for Walker {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::params::WorkloadParams;

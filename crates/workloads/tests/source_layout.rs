@@ -1,0 +1,39 @@
+//! Guard against the workload crate re-growing a monolith: the
+//! workload-source registry split resolution across `source.rs`
+//! (parsing + dispatch), `mix.rs` (the interleaver), and `catalog.rs`
+//! (the synthetic table); keep every source file under 800 lines so a
+//! future source kind lands as a new module, not an append.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::Path;
+
+const MAX_LINES: usize = 800;
+
+fn check_dir(dir: &Path, offenders: &mut Vec<String>) {
+    for entry in std::fs::read_dir(dir).expect("read src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            check_dir(&path, offenders);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let lines = std::fs::read_to_string(&path)
+                .expect("read source file")
+                .lines()
+                .count();
+            if lines > MAX_LINES {
+                offenders.push(format!("{} ({lines} lines)", path.display()));
+            }
+        }
+    }
+}
+
+#[test]
+fn no_source_file_exceeds_800_lines() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut offenders = Vec::new();
+    check_dir(&src, &mut offenders);
+    assert!(
+        offenders.is_empty(),
+        "files over {MAX_LINES} lines (split them like source.rs / mix.rs): {offenders:?}"
+    );
+}
